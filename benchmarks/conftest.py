@@ -1,0 +1,75 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure and prints the same
+rows the paper reports (the printed table is the artefact; the timing is
+a bonus).  A session-scoped runner shares traces between benchmarks; the
+benchmarked callables construct their own runners so timings include the
+full regeneration cost.
+
+``BENCH_WORKLOADS`` defaults to a representative subset (one workload per
+game at its lowest paper resolution, plus one high-resolution point) so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; set the
+environment variable ``REPRO_BENCH_FULL=1`` to run all ten Table II
+workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads import workload_names
+
+BENCH_WORKLOADS = [
+    "doom3-640x480",
+    "fear-640x480",
+    "hl2-640x480",
+    "riddick-640x480",
+    "wolfenstein-640x480",
+    "doom3-1280x1024",
+]
+
+if os.environ.get("REPRO_BENCH_FULL"):
+    BENCH_WORKLOADS = workload_names()
+
+
+@pytest.fixture(scope="session")
+def bench_runner():
+    """Shared pre-warmed runner for assertions outside the timed region."""
+    return ExperimentRunner(BENCH_WORKLOADS)
+
+
+_FIGURES: list = []
+
+
+def _format_figure(data) -> str:
+    lines = [f"=== {data.figure}: {data.title}"]
+    if data.paper_reference:
+        lines.append(f"    paper: {data.paper_reference}")
+    lines.append(data.format_table())
+    lines.extend(f"    {note}" for note in data.notes)
+    return "\n".join(lines)
+
+
+def print_figure(data) -> None:
+    """Record a regenerated figure for the end-of-session report.
+
+    pytest captures per-test stdout, so figures are also replayed via
+    :func:`pytest_terminal_summary` -- the benchmark run's actual
+    deliverable is these tables, not the timings.
+    """
+    text = _format_figure(data)
+    print("\n" + text)
+    _FIGURES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _FIGURES:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables & figures")
+    for text in _FIGURES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

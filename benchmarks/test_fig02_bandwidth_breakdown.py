@@ -1,0 +1,18 @@
+"""Fig. 2: memory bandwidth usage breakdown of baseline 3D rendering."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig02
+
+
+def test_fig02_bandwidth_breakdown(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig02.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claim: texture fetching dominates memory traffic (~60% paper).
+    assert data.mean("texture") > 0.40
+    for row in data.rows:
+        assert row.get("texture") == max(row.values.values())

@@ -1,0 +1,21 @@
+"""Fig. 4: texture filtering speedup/traffic with anisotropic disabled."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig04
+
+
+def test_fig04_aniso_disabled(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig04.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims: disabling anisotropic filtering speeds up texture
+    # filtering (paper: 1.1x avg, <=4.2x) and reduces texture traffic
+    # (paper: -34% avg, <=-73%).
+    assert data.mean("texture_speedup") > 1.0
+    assert data.mean("normalized_traffic") < 0.9
+    for row in data.rows:
+        assert row.get("normalized_traffic") <= 1.0

@@ -1,0 +1,21 @@
+"""Fig. 5: B-PIM (HMC as a drop-in GDDR5 replacement) speedups."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig05
+
+
+def test_fig05_bpim(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig05.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims (paper: render 1.27x avg / <=1.30x; texture 1.07x avg
+    # / <=1.69x): B-PIM helps overall more than it helps texture
+    # filtering, and never hurts rendering.
+    assert 1.05 < data.mean("render_speedup") < 1.6
+    assert data.mean("texture_speedup") < data.mean("render_speedup") * 1.3
+    for row in data.rows:
+        assert row.get("render_speedup") > 1.0

@@ -1,0 +1,21 @@
+"""Fig. 10: texture filtering speedup under the four designs."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig10
+
+
+def test_fig10_texture_speedup(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig10.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims (paper: A-TFIM 3.97x avg / <=6.4x; S-TFIM and B-PIM
+    # marginal): A-TFIM wins clearly, B-PIM is modest, S-TFIM does not
+    # beat A-TFIM anywhere.
+    assert data.mean("a_tfim_001pi") > 1.5
+    assert data.mean("a_tfim_001pi") > data.mean("b_pim")
+    for row in data.rows:
+        assert row.get("a_tfim_001pi") > row.get("s_tfim")

@@ -1,0 +1,20 @@
+"""Fig. 11: overall 3D rendering speedup under the four designs."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig11
+
+
+def test_fig11_render_speedup(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig11.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims (paper: A-TFIM +43% avg / <=+65%; B-PIM ~+27%;
+    # S-TFIM ~= B-PIM or worse).
+    assert 1.2 < data.mean("a_tfim_001pi") < 1.9
+    assert 1.0 < data.mean("b_pim") < data.mean("a_tfim_001pi")
+    for row in data.rows:
+        assert row.get("s_tfim") <= row.get("b_pim") * 1.05

@@ -1,0 +1,22 @@
+"""Fig. 12: normalized external texture memory traffic per design."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig12
+
+
+def test_fig12_memory_traffic(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig12.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims (paper: S-TFIM 2.79x avg with bars 2.07-6.37;
+    # A-TFIM-001pi near/slightly above baseline; A-TFIM-005pi -28% avg).
+    assert 2.0 < data.mean("s_tfim") < 8.0
+    assert 0.5 < data.mean("a_tfim_001pi") < 1.5
+    assert data.mean("a_tfim_005pi") < data.mean("a_tfim_001pi")
+    assert data.mean("a_tfim_005pi") < 1.0
+    for row in data.rows:
+        assert row.get("b_pim") < row.get("s_tfim")

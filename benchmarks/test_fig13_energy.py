@@ -1,0 +1,21 @@
+"""Fig. 13: normalized energy consumption per design."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig13
+
+
+def test_fig13_energy(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig13.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims (paper: A-TFIM -22% vs baseline and -8% vs B-PIM;
+    # S-TFIM worse than B-PIM; HMC beats GDDR5).
+    assert data.mean("a_tfim_001pi") < 1.0
+    assert data.mean("a_tfim_001pi") < data.mean("b_pim")
+    assert data.mean("b_pim") < 1.0
+    for row in data.rows:
+        assert row.get("s_tfim") > row.get("b_pim")

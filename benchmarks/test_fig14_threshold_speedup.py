@@ -1,0 +1,19 @@
+"""Fig. 14: A-TFIM rendering speedup vs camera-angle threshold."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig14
+
+
+def test_fig14_threshold_speedup(benchmark, bench_runner):
+    data = benchmark.pedantic(
+        fig14.run,
+        kwargs={"runner": bench_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claim (paper: speedup rises monotonically ~1.33x -> ~1.47x).
+    means = [data.mean(column) for column in data.columns]
+    for tighter, looser in zip(means, means[1:]):
+        assert looser >= tighter - 1e-9
+    assert means[-1] > 1.2

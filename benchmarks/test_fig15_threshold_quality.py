@@ -1,0 +1,34 @@
+"""Fig. 15: image quality (PSNR) vs camera-angle threshold.
+
+This benchmark shades real pixels (the functional renderer), so it runs
+on a reduced workload subset: the paper's quality claims are per-app
+monotonicity and the absolute PSNR bands, both visible on the subset.
+"""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig15
+
+QUALITY_WORKLOADS = ["doom3-640x480", "riddick-640x480", "hl2-640x480"]
+
+
+def test_fig15_threshold_quality(benchmark):
+    data = benchmark.pedantic(
+        fig15.run,
+        kwargs={"workload_names": QUALITY_WORKLOADS},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims (paper: PSNR falls with the threshold; the strict end
+    # is the high-quality end and no-recalculation drops visibly).  The
+    # per-step trend can wiggle: the reuse policy keeps the *last* writer,
+    # and which writer wins is threshold-dependent -- so the robust
+    # claims are the endpoints and the strict end's quality band.
+    for row in data.rows:
+        values = [row.values[column] for column in data.columns]
+        assert values[0] > 30.0
+        assert values[0] >= values[-1] - 1e-9
+        assert values[0] >= max(values) - 1.0  # strict end near the top
+    means = [data.mean(column) for column in data.columns]
+    assert means[0] == max(means)  # averaged curve peaks at the strict end
+    assert means[0] - means[-1] > 2.0  # and drops visibly toward no-recalc

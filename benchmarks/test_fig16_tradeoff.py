@@ -1,0 +1,28 @@
+"""Fig. 16: the averaged performance-quality tradeoff curve."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import fig16
+
+TRADEOFF_WORKLOADS = ["doom3-640x480", "riddick-640x480", "hl2-640x480"]
+
+
+def test_fig16_tradeoff(benchmark):
+    data = benchmark.pedantic(
+        fig16.run,
+        kwargs={"workload_names": TRADEOFF_WORKLOADS},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    # Shape claims: speedup rises and PSNR falls monotonically across
+    # the sweep -- the tradeoff the paper's Fig. 16 plots, with the knee
+    # motivating 0.01pi as the default.
+    speedups = data.column("speedup")
+    psnrs = data.column("psnr")
+    for tighter, looser in zip(speedups, speedups[1:]):
+        assert looser >= tighter - 1e-9
+    # Quality: the strict end is the best and the curve drops toward
+    # no-recalculation (per-step wiggle tolerated, see the fig15 bench).
+    assert psnrs[0] == max(psnrs)
+    assert psnrs[0] - psnrs[-1] > 1.0
+    assert speedups[-1] > speedups[0]

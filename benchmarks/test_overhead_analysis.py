@@ -1,0 +1,19 @@
+"""Section VII-E: design overhead arithmetic."""
+
+import pytest
+
+from benchmarks.conftest import print_figure
+from repro.experiments import overhead_analysis
+
+
+def test_overhead_analysis(benchmark):
+    data = benchmark(overhead_analysis.run)
+    print_figure(data)
+    assert data.row("parent_buffer_kb").get("value") == pytest.approx(1.41, abs=0.01)
+    assert data.row("consolidation_kb").get("value") == pytest.approx(0.5, abs=0.01)
+    assert data.row("hmc_area_fraction").get("value") == pytest.approx(
+        0.0318, abs=0.001
+    )
+    assert data.row("gpu_area_fraction").get("value") == pytest.approx(
+        0.0023, abs=0.0002
+    )

@@ -1,0 +1,40 @@
+"""Robustness benchmarks: the conclusions vs the model's fitted constants."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_overlap_factor(benchmark):
+    data = benchmark.pedantic(
+        sensitivity.overlap_factor,
+        kwargs={"workload_name": "doom3-640x480"},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    assert sensitivity.orderings_hold(data)
+
+
+def test_sensitivity_shader_work(benchmark):
+    data = benchmark.pedantic(
+        sensitivity.shader_work,
+        kwargs={"workload_name": "doom3-640x480"},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    assert sensitivity.orderings_hold(data)
+    # Heavier shaders shrink A-TFIM's advantage (Amdahl).
+    speedups = data.column("a_tfim")
+    assert speedups[-1] <= speedups[0]
+
+
+def test_sensitivity_latency_hiding(benchmark):
+    data = benchmark.pedantic(
+        sensitivity.latency_hiding,
+        kwargs={"workload_name": "doom3-640x480"},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(data)
+    assert sensitivity.orderings_hold(data)

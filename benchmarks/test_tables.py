@@ -1,0 +1,24 @@
+"""Tables I and II: configuration and workload registry."""
+
+from benchmarks.conftest import _FIGURES
+from repro.experiments import tables
+
+
+def test_table1_configuration(benchmark):
+    rows = benchmark(tables.table1_rows)
+    text = "=== Table I: simulator configuration\n" + tables.format_table1()
+    print("\n" + text)
+    _FIGURES.append(text)
+    names = {name for name, _ in rows}
+    assert "Number of cluster" in names
+    assert any("HMC" in name for name in names)
+
+
+def test_table2_workloads(benchmark):
+    rows = benchmark(tables.table2_rows)
+    text = "=== Table II: gaming benchmarks\n" + tables.format_table2()
+    print("\n" + text)
+    _FIGURES.append(text)
+    assert len(rows) == 10
+    games = {row[0] for row in rows}
+    assert games == {"doom3", "fear", "hl2", "riddick", "wolfenstein"}

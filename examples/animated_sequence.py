@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Multi-frame animation: the angle-threshold cache across camera motion.
+
+Simulates a short camera walk (and a strafe) through a game scene with
+*persistent* texture caches -- the setting section V-C describes, where
+parent texels cached in one frame are revisited from new camera angles in
+the next.  Prints per-frame cycles and texture traffic for the baseline
+and A-TFIM, showing A-TFIM's steady-state advantage once caches are warm.
+
+Run:
+    python examples/animated_sequence.py [workload-name] [num-frames]
+"""
+
+import sys
+
+from repro.core import Design, simulate_sequence
+from repro.workloads import workload_by_name, workload_names
+from repro.workloads.animation import strafe, walk_forward
+
+
+def run_motion(label, workload, scene, traces):
+    print(f"\n--- {label}: {len(traces)} frames")
+    results = {}
+    for design in (Design.BASELINE, Design.A_TFIM):
+        results[design] = simulate_sequence(
+            scene, traces, workload.design_config(design)
+        )
+    print(f"{'frame':>6s} {'baseline cyc':>13s} {'a-tfim cyc':>11s} "
+          f"{'baseline KB':>12s} {'a-tfim KB':>10s}")
+    for index in range(len(traces)):
+        base = results[Design.BASELINE].frames[index]
+        atfim = results[Design.A_TFIM].frames[index]
+        print(f"{index:6d} {base.frame_cycles:13.0f} "
+              f"{atfim.frame_cycles:11.0f} "
+              f"{base.traffic.external_texture / 1024:12.1f} "
+              f"{atfim.traffic.external_texture / 1024:10.1f}")
+    speedup = results[Design.A_TFIM].speedup_over(results[Design.BASELINE])
+    print(f"sequence speedup: {speedup:.2f}x")
+    return speedup
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "doom3-640x480"
+    frames = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if name not in workload_names():
+        print(f"unknown workload {name!r}; choose one of {workload_names()}")
+        return 1
+    workload = workload_by_name(name)
+    built = workload.build()
+    renderer = workload.make_renderer()
+
+    for label, factory in (("walk forward", walk_forward(4.0)),
+                           ("strafe", strafe(3.0))):
+        path = factory(built.camera)
+        cameras = path.cameras(built.camera, frames)
+        traces = [
+            renderer.trace_only(built.scene, camera).trace
+            for camera in cameras
+        ]
+        run_motion(label, workload, built.scene, traces)
+
+    print(
+        "\nReading the output: the first frame pays compulsory misses for "
+        "both designs; later frames run against warm caches, where A-TFIM's "
+        "angle-tagged parent reuse keeps its traffic nearly flat while the "
+        "moving camera keeps pulling fresh texels for the baseline."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Run the full Table II game suite across designs (Figs. 10-13 in one go).
+
+For every game x resolution benchmark point, simulate the four designs
+and print the four headline metrics side by side, plus the per-game
+averages the paper quotes.  This is the "evaluation section in one
+command" example.
+
+Run:
+    python examples/game_benchmark_suite.py          # all ten workloads
+    python examples/game_benchmark_suite.py --fast   # 640x480 subset
+"""
+
+import sys
+
+from repro.core import Design
+from repro.experiments.common import geometric_mean
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads import workload_names
+
+
+def main() -> int:
+    fast = "--fast" in sys.argv
+    names = [n for n in workload_names() if not fast or "640x480" in n]
+    runner = ExperimentRunner(names)
+
+    print(f"simulating {len(names)} workloads x 4 designs "
+          f"(this replays every texture request of every frame)...\n")
+    header = (f"{'workload':22s} {'design':12s} {'render x':>9s} "
+              f"{'texture x':>10s} {'traffic x':>10s} {'energy x':>9s}")
+    print(header)
+    print("-" * len(header))
+
+    collected = {design: {"render": [], "texture": [], "traffic": [],
+                          "energy": []} for design in Design}
+    for workload in runner.workloads:
+        for design in Design:
+            render = runner.render_speedup(workload, design)
+            texture = runner.texture_speedup(workload, design)
+            traffic = runner.texture_traffic_ratio(workload, design)
+            energy = runner.energy_ratio(workload, design)
+            collected[design]["render"].append(render)
+            collected[design]["texture"].append(texture)
+            collected[design]["traffic"].append(traffic)
+            collected[design]["energy"].append(energy)
+            print(f"{workload.name:22s} {design.value:12s} {render:9.2f} "
+                  f"{texture:10.2f} {traffic:10.2f} {energy:9.2f}")
+        print()
+
+    print("geometric means across workloads "
+          "(paper averages: A-TFIM render 1.43x, texture 3.97x, "
+          "energy 0.78x; S-TFIM traffic 2.79x):")
+    for design in Design:
+        metrics = collected[design]
+        print(
+            f"  {design.value:12s} render {geometric_mean(metrics['render']):5.2f}  "
+            f"texture {geometric_mean(metrics['texture']):5.2f}  "
+            f"traffic {geometric_mean(metrics['traffic']):5.2f}  "
+            f"energy {geometric_mean(metrics['energy']):5.2f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Explore the memory-system design space behind the PIM argument.
+
+The TFIM designs rest on one asymmetry: the HMC's internal (vault-side)
+bandwidth exceeds what its external serial links deliver to the host.
+This example sweeps that asymmetry and the GDDR5 baseline bandwidth to
+show where each design wins -- the crossover analysis the paper's
+section III motivates with the 320 GB/s external / 512 GB/s internal
+figures.
+
+Run:
+    python examples/memory_system_explorer.py [workload-name]
+"""
+
+import dataclasses
+import sys
+
+from repro.core import Design, simulate_frame
+from repro.workloads import workload_by_name, workload_names
+
+
+def run_design(workload, scene, trace, design, hmc=None, gddr5=None):
+    overrides = {}
+    if hmc is not None:
+        overrides["hmc"] = hmc
+    if gddr5 is not None:
+        overrides["gddr5"] = gddr5
+    config = workload.design_config(design, **overrides)
+    return simulate_frame(scene, trace, config)
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "doom3-640x480"
+    if name not in workload_names():
+        print(f"unknown workload {name!r}; choose one of {workload_names()}")
+        return 1
+    workload = workload_by_name(name)
+    scene, trace = workload.trace()
+    baseline = run_design(workload, scene, trace, Design.BASELINE)
+    print(f"{workload.name}: baseline frame = "
+          f"{baseline.frame.frame_cycles:.0f} cycles\n")
+
+    # --- Sweep 1: HMC internal bandwidth (A-TFIM's resource) ----------
+    print("A-TFIM rendering speedup vs HMC internal:external bandwidth ratio")
+    base_hmc = workload.hmc_config()
+    print(f"{'int:ext ratio':>14s} {'render x':>9s} {'texture x':>10s}")
+    for ratio in (1.0, 1.6, 2.4, 3.2):
+        hmc = dataclasses.replace(
+            base_hmc,
+            internal_bandwidth_gb_per_s=(
+                base_hmc.external_bandwidth_gb_per_s * ratio
+            ),
+        )
+        run = run_design(workload, scene, trace, Design.A_TFIM, hmc=hmc)
+        print(f"{ratio:14.1f} "
+              f"{run.frame.speedup_over(baseline.frame):9.2f} "
+              f"{run.frame.texture_speedup_over(baseline.frame):10.2f}")
+
+    # --- Sweep 2: how good must GDDR5 get to catch B-PIM? -------------
+    print("\nB-PIM advantage vs GDDR5 bandwidth (paper: 128 vs 320 GB/s)")
+    base_gddr5 = workload.gddr5_config()
+    bpim = run_design(workload, scene, trace, Design.B_PIM)
+    print(f"{'gddr5 scale':>12s} {'baseline cycles':>16s} {'b-pim wins by':>14s}")
+    for scale in (1.0, 1.5, 2.0, 2.5):
+        gddr5 = dataclasses.replace(
+            base_gddr5,
+            bandwidth_gb_per_s=base_gddr5.bandwidth_gb_per_s * scale,
+        )
+        boosted = run_design(
+            workload, scene, trace, Design.BASELINE, gddr5=gddr5
+        )
+        advantage = boosted.frame.frame_cycles / bpim.frame.frame_cycles
+        print(f"{scale:12.1f} {boosted.frame.frame_cycles:16.0f} "
+              f"{advantage:14.2f}")
+
+    print(
+        "\nReading the sweeps: A-TFIM's gain grows with the internal:"
+        "external ratio (the PIM headroom), while a GDDR5 fast enough to "
+        "match the HMC's links erases B-PIM's -- but not A-TFIM's -- "
+        "advantage, since only A-TFIM taps the internal bandwidth."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

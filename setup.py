@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+editable installs work in offline environments whose setuptools lacks
+the `wheel` package required by PEP 660 editable wheels (pip falls back
+to `setup.py develop` with --no-use-pep517, and some pip versions probe
+for this file automatically).
+"""
+
+from setuptools import setup
+
+setup()

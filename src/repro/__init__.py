@@ -1,0 +1,43 @@
+"""repro: reproduction of "Processing-in-Memory Enabled Graphics
+Processors for 3D Rendering" (Xie et al., HPCA 2017).
+
+Public API tour
+---------------
+
+Workloads and rendering::
+
+    from repro.workloads import workload_by_name
+    workload = workload_by_name("doom3-640x480")
+    scene, trace = workload.trace()
+
+Design simulation::
+
+    from repro.core import Design, DesignConfig, simulate_frame
+    baseline = simulate_frame(scene, trace, DesignConfig(design=Design.BASELINE))
+    atfim = simulate_frame(scene, trace, DesignConfig(design=Design.A_TFIM))
+    print(atfim.frame.texture_speedup_over(baseline.frame))
+
+Quality study::
+
+    from repro.render import Renderer, SamplingMode
+    from repro.quality import psnr
+
+Experiments (one per paper table/figure) live in
+:mod:`repro.experiments`; each has a ``run()`` returning the figure's
+data and is also exposed through ``python -m repro``.
+"""
+
+from repro.core import Design, DesignConfig, simulate_frame
+from repro.workloads import WORKLOADS, workload_by_name, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design",
+    "DesignConfig",
+    "simulate_frame",
+    "WORKLOADS",
+    "workload_by_name",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""Baseline and B-PIM texture paths: full filtering on the host GPU.
+
+The two designs share one path implementation; they differ only in the
+memory system behind the texture caches (GDDR5 for the baseline, HMC
+external links for B-PIM -- section III's drop-in replacement).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.designs import Design, DesignConfig
+from repro.core.expansion import ExpandedRequest
+from repro.core.paths import (
+    CacheHierarchy,
+    CacheHierarchyStats,
+    Gddr5Interface,
+    HmcExternalInterface,
+    MemoryInterface,
+    PathActivity,
+    TexturePath,
+    make_hmc,
+)
+from repro.gpu.texunit import TextureUnit
+from repro.memory.gddr5 import Gddr5Memory
+from repro.memory.traffic import TrafficMeter
+
+
+class GpuFilteringPath(TexturePath):
+    """Texture filtering entirely on the GPU (baseline / B-PIM).
+
+    Per request: the texture unit generates all conventional-order texel
+    addresses, fetches each unique cache line through L1 -> L2 -> memory,
+    and filters all texels once the last line arrives.
+    """
+
+    def __init__(self, config: DesignConfig, traffic: TrafficMeter) -> None:
+        super().__init__(config, traffic)
+        if config.design not in (Design.BASELINE, Design.B_PIM):
+            raise ValueError(f"wrong path for design {config.design}")
+        gpu = config.gpu
+        self.units: List[TextureUnit] = [
+            TextureUnit(f"tu.{cluster}", gpu.texture_unit)
+            for cluster in range(gpu.num_clusters)
+        ]
+        self.caches = CacheHierarchy(config, traffic)
+        if config.design is Design.BASELINE:
+            self.gddr5 = Gddr5Memory(config.gddr5)
+            self.memory: MemoryInterface = Gddr5Interface(
+                self.gddr5, config.packets, traffic,
+                compressed=config.texture_compression,
+            )
+            self.hmc = None
+        else:
+            self.hmc = make_hmc(config)
+            self.memory = HmcExternalInterface(
+                self.hmc, config.packets, traffic,
+                compressed=config.texture_compression,
+            )
+            self.gddr5 = None
+
+    def serve(self, cluster: int, issue: float, expanded: ExpandedRequest) -> float:
+        unit = self.units[cluster]
+        unit.note_request()
+        num_texels = expanded.num_conventional_texels
+        address_done = unit.generate_addresses(issue, num_texels)
+        data_ready = address_done
+        for line in expanded.conventional_lines:
+            ready = self.caches.lookup(cluster, address_done, line, self.memory)
+            if ready > data_ready:
+                data_ready = ready
+        return unit.filter_texels(data_ready, num_texels)
+
+    def activity(self) -> PathActivity:
+        activity = PathActivity()
+        for unit in self.units:
+            activity.gpu_texture.merge(unit.activity)
+        stats = self.caches.stats()
+        activity.l1_accesses = stats.l1_accesses
+        activity.l2_accesses = stats.l1_misses + stats.l1_angle_misses
+        return activity
+
+    def cache_stats(self) -> CacheHierarchyStats:
+        return self.caches.stats()
+
+    def reset_for_measurement(self) -> None:
+        for unit in self.units:
+            unit.reset()
+        self.caches.reset_for_measurement()
+        if self.gddr5 is not None:
+            self.gddr5.reset()
+        if self.hmc is not None:
+            self.hmc.reset()

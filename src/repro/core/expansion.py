@@ -1,0 +1,183 @@
+"""Expanding texture requests into texel / parent / child fetch sets.
+
+The cycle model never touches texture *data*; it needs the texel
+*coordinates* each request would fetch under each design:
+
+* conventional order (baseline / B-PIM / S-TFIM): the probe-displaced
+  bilinear taps of both mip levels -- ``probes x 8`` texels, minus
+  hardware coalescing of duplicates;
+* A-TFIM: the 8 *parent* texels (aniso disabled), and per parent its
+  ``probes`` *child* texels (the in-memory expansion).
+
+The expansion reuses the exact arithmetic of
+:mod:`repro.texture.sampling`, so architectural texel counts match the
+functional renderer by construction.  Coordinates are resolved to byte
+and cache-line addresses through a :class:`~repro.texture.address.TexelAddressMap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.render.scene import Scene
+from repro.texture.address import TexelAddressMap
+from repro.texture.mipmap import MipmapChain
+from repro.texture.requests import TextureRequest
+from repro.texture.sampling import (
+    child_texel_coords,
+    level_blend_for,
+    parent_texel_coords,
+    probe_offsets,
+)
+
+
+@dataclass(frozen=True)
+class ParentTexel:
+    """One parent texel with its cache-line address and child lines."""
+
+    level: int
+    x: int
+    y: int
+    line_address: int
+    child_line_addresses: Tuple[int, ...]
+    num_children: int
+
+
+@dataclass(frozen=True)
+class ExpandedRequest:
+    """All addresses one request touches, under both filter orders."""
+
+    request: TextureRequest
+    conventional_lines: Tuple[int, ...]
+    """Unique cache-line addresses of the conventional-order texel set."""
+    num_conventional_texels: int
+    """Texel fetch count before line coalescing (probes x taps)."""
+    parents: Tuple[ParentTexel, ...]
+    """The A-TFIM parent texels (empty only for malformed requests)."""
+    num_parent_texels: int
+
+    @property
+    def unique_child_lines(self) -> Tuple[int, ...]:
+        """Child lines after Child Texel Consolidation (dedup across
+        parents -- the merge the consolidation buffer performs)."""
+        seen: Dict[int, None] = {}
+        for parent in self.parents:
+            for line in parent.child_line_addresses:
+                if line not in seen:
+                    seen[line] = None
+        return tuple(seen)
+
+    @property
+    def total_child_texels(self) -> int:
+        return sum(parent.num_children for parent in self.parents)
+
+
+class RequestExpander:
+    """Expands requests for one scene's texture set."""
+
+    def __init__(
+        self,
+        scene: Scene,
+        address_map: TexelAddressMap | None = None,
+        line_bytes: int = 64,
+    ) -> None:
+        self.scene = scene
+        self.address_map = address_map or TexelAddressMap()
+        self.line_bytes = line_bytes
+        self._chains: Dict[int, MipmapChain] = {}
+
+    def _chain(self, texture_id: int) -> MipmapChain:
+        if texture_id not in self._chains:
+            self._chains[texture_id] = self.scene.mipmap_chain(texture_id)
+        return self._chains[texture_id]
+
+    def expand(self, request: TextureRequest) -> ExpandedRequest:
+        """Compute every address set for one request."""
+        chain = self._chain(request.texture_id)
+        footprint = request.footprint
+
+        # --- conventional order: probes x bilinear taps per level -------
+        conventional_lines: Dict[int, None] = {}
+        texel_count = 0
+        blend = level_blend_for(chain, footprint.lod)
+        levels = [blend.level_low]
+        if not blend.is_single_level:
+            levels.append(blend.level_high)
+        parents = parent_texel_coords(chain, footprint.lod, request.u, request.v)
+        parents_by_level: Dict[int, List[Tuple[int, int]]] = {}
+        for level, x, y, _weight in parents:
+            parents_by_level.setdefault(level, []).append((x, y))
+        for level in levels:
+            offsets = probe_offsets(footprint, level)
+            taps = parents_by_level.get(level, [])
+            for dx, dy in offsets:
+                for x, y in taps:
+                    texel_count += 1
+                    line = self.address_map.texel_line(
+                        chain, level, x + dx, y + dy, self.line_bytes
+                    )
+                    conventional_lines.setdefault(line, None)
+
+        # --- A-TFIM order: parents and their children -------------------
+        parent_records: List[ParentTexel] = []
+        for level, x, y, _weight in parents:
+            children = child_texel_coords(footprint, level, x, y)
+            child_lines: Dict[int, None] = {}
+            for cx, cy in children:
+                line = self.address_map.texel_line(
+                    chain, level, cx, cy, self.line_bytes
+                )
+                child_lines.setdefault(line, None)
+            parent_records.append(
+                ParentTexel(
+                    level=level,
+                    x=x,
+                    y=y,
+                    line_address=self.address_map.texel_line(
+                        chain, level, x, y, self.line_bytes
+                    ),
+                    child_line_addresses=tuple(child_lines),
+                    num_children=len(children),
+                )
+            )
+
+        return ExpandedRequest(
+            request=request,
+            conventional_lines=tuple(conventional_lines),
+            num_conventional_texels=texel_count,
+            parents=tuple(parent_records),
+            num_parent_texels=len(parent_records),
+        )
+
+    def expand_isotropic(self, request: TextureRequest) -> ExpandedRequest:
+        """Expansion with anisotropic filtering disabled (Fig. 4 study).
+
+        The conventional texel set collapses to the parent texels (the
+        trilinear taps); parents carry themselves as their only child.
+        """
+        chain = self._chain(request.texture_id)
+        footprint = request.footprint
+        parents = parent_texel_coords(chain, footprint.lod, request.u, request.v)
+        lines: Dict[int, None] = {}
+        parent_records: List[ParentTexel] = []
+        for level, x, y, _weight in parents:
+            line = self.address_map.texel_line(chain, level, x, y, self.line_bytes)
+            lines.setdefault(line, None)
+            parent_records.append(
+                ParentTexel(
+                    level=level,
+                    x=x,
+                    y=y,
+                    line_address=line,
+                    child_line_addresses=(line,),
+                    num_children=1,
+                )
+            )
+        return ExpandedRequest(
+            request=request,
+            conventional_lines=tuple(lines),
+            num_conventional_texels=len(parents),
+            parents=tuple(parent_records),
+            num_parent_texels=len(parents),
+        )

@@ -1,0 +1,190 @@
+"""The public entry points: simulate frames and frame sequences.
+
+``simulate_frame`` wires together a workload's fragment trace, the
+request expander, the design-specific texture path, and the GPU pipeline
+model, returning a :class:`DesignRun` with the frame result, energy, and
+the design-specific counters the experiments report.
+
+``simulate_sequence`` runs a multi-frame animation through *one*
+persistent texture path: caches stay warm across frames while timing and
+counters are attributed per frame -- the setting in which A-TFIM's
+angle-tagged reuse (section V-C's "parent texels from different frames")
+actually operates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.atfim import AtfimPath
+from repro.core.baseline import GpuFilteringPath
+from repro.core.designs import Design, DesignConfig
+from repro.core.expansion import RequestExpander
+from repro.core.paths import TexturePath
+from repro.core.stfim import StfimPath
+from repro.gpu.pipeline import FrameResult, GpuPipeline
+from repro.memory.traffic import TrafficMeter
+from repro.render.scene import Scene
+from repro.texture.address import TexelAddressMap
+from repro.texture.requests import FragmentTrace
+
+
+def make_texture_path(config: DesignConfig, traffic: TrafficMeter) -> TexturePath:
+    """Instantiate the texture path for a design point."""
+    if config.design in (Design.BASELINE, Design.B_PIM):
+        return GpuFilteringPath(config, traffic)
+    if config.design is Design.S_TFIM:
+        return StfimPath(config, traffic)
+    if config.design is Design.A_TFIM:
+        return AtfimPath(config, traffic)
+    raise ValueError(f"unknown design {config.design}")
+
+
+@dataclass
+class DesignRun:
+    """One design point's simulated frame plus derived metrics."""
+
+    config: DesignConfig
+    frame: FrameResult
+    path: TexturePath
+
+    @property
+    def design(self) -> Design:
+        return self.config.design
+
+    @property
+    def frame_cycles(self) -> float:
+        return self.frame.frame_cycles
+
+    @property
+    def texture_cycles(self) -> float:
+        return self.frame.texture_cycles
+
+    @property
+    def external_texture_bytes(self) -> float:
+        return self.frame.traffic.external_texture
+
+    @property
+    def external_total_bytes(self) -> float:
+        return self.frame.traffic.external_total
+
+
+def simulate_frame(
+    scene: Scene,
+    trace: FragmentTrace,
+    config: DesignConfig,
+    address_map: Optional[TexelAddressMap] = None,
+    warmup: bool = True,
+) -> DesignRun:
+    """Simulate one frame of ``trace`` under ``config``.
+
+    ``scene`` supplies texture geometry (mip chains) for address
+    expansion and the vertex count for the geometry stage.  The trace is
+    design-independent -- all designs shade the same fragments; what
+    differs is how their texture lookups are served.
+
+    With ``warmup`` (the default), the frame is replayed once to warm the
+    texture caches before the measured replay, modelling the steady state
+    of a running game.  Without it, compulsory misses -- hugely inflated
+    at our scaled-down frame sizes -- dominate every design's miss rate.
+    """
+    traffic = TrafficMeter()
+    expander = RequestExpander(scene, address_map)
+    if config.aniso_enabled:
+        expanded = [expander.expand(request) for request in trace.requests]
+    else:
+        expanded = [expander.expand_isotropic(request) for request in trace.requests]
+
+    path = make_texture_path(config, traffic)
+    pipeline = GpuPipeline(config.gpu)
+    if warmup:
+        pipeline.replay_texture_stream(trace, expanded, path)
+        path.reset_for_measurement()
+        traffic.reset()
+    frame = pipeline.simulate_frame(
+        trace=trace,
+        expanded=expanded,
+        path=path,
+        traffic=traffic,
+        num_vertices=scene.num_vertices,
+        external_bytes_per_cycle=config.external_bytes_per_cycle,
+    )
+    return DesignRun(config=config, frame=frame, path=path)
+
+
+@dataclass
+class SequenceResult:
+    """A simulated multi-frame run under one design."""
+
+    config: DesignConfig
+    frames: List[FrameResult]
+    path: TexturePath
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(frame.frame_cycles for frame in self.frames)
+
+    @property
+    def total_external_texture_bytes(self) -> float:
+        return sum(frame.traffic.external_texture for frame in self.frames)
+
+    @property
+    def mean_texture_latency(self) -> float:
+        latencies = [frame.texture_filter_latency for frame in self.frames]
+        return sum(latencies) / len(latencies)
+
+    def speedup_over(self, baseline: "SequenceResult") -> float:
+        if self.total_cycles <= 0:
+            raise ValueError("degenerate sequence time")
+        return baseline.total_cycles / self.total_cycles
+
+
+def simulate_sequence(
+    scene: Scene,
+    traces: Sequence[FragmentTrace],
+    config: DesignConfig,
+    address_map: Optional[TexelAddressMap] = None,
+) -> SequenceResult:
+    """Simulate a sequence of frames with persistent texture caches.
+
+    Unlike repeated :func:`simulate_frame` calls, the texture path (and
+    therefore every cache and angle tag) survives across frames: frame N
+    runs against the contents frame N-1 left behind, exactly as a game
+    does.  Timing state and statistics are reset between frames, and each
+    frame's traffic is attributed individually.
+    """
+    if not traces:
+        raise ValueError("a sequence needs at least one frame")
+    traffic = TrafficMeter()
+    expander = RequestExpander(scene, address_map)
+    path = make_texture_path(config, traffic)
+    pipeline = GpuPipeline(config.gpu)
+
+    frames: List[FrameResult] = []
+    for trace in traces:
+        if config.aniso_enabled:
+            expanded = [expander.expand(request) for request in trace.requests]
+        else:
+            expanded = [
+                expander.expand_isotropic(request) for request in trace.requests
+            ]
+        before = traffic.snapshot()
+        frame = pipeline.simulate_frame(
+            trace=trace,
+            expanded=expanded,
+            path=path,
+            traffic=traffic,
+            num_vertices=scene.num_vertices,
+            external_bytes_per_cycle=config.external_bytes_per_cycle,
+        )
+        # Attribute this frame's traffic and hand the frame its own meter.
+        frame.traffic = traffic.since(before)
+        frames.append(frame)
+        # Fresh clocks and counters for the next frame; caches persist.
+        path.reset_for_measurement()
+    return SequenceResult(config=config, frames=frames, path=path)

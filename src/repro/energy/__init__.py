@@ -1,0 +1,20 @@
+"""Energy and area models.
+
+* :mod:`repro.energy.model` -- activity-based energy accounting (the
+  McPAT-style evaluation of section VI: per-op ALU and cache energies,
+  5 pJ/bit links, 4 pJ/bit HMC DRAM, Micron-style GDDR5 interface
+  energy, and a +10 % leakage adder scaled by runtime).
+* :mod:`repro.energy.overhead` -- the section VII-E area/storage
+  arithmetic for the A-TFIM structures.
+"""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.energy.overhead import AtfimOverhead, compute_overhead
+
+__all__ = [
+    "EnergyModel",
+    "EnergyParams",
+    "EnergyBreakdown",
+    "AtfimOverhead",
+    "compute_overhead",
+]

@@ -1,0 +1,45 @@
+"""Fig. 5: B-PIM -- replacing GDDR5 with an HMC, no in-memory compute.
+
+The paper: B-PIM improves 3D rendering by 27 % on average (up to 30 %)
+and texture filtering by 1.07x (up to 1.69x) -- worthwhile but far from
+exhausting the HMC's internal bandwidth, which motivates the TFIM designs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import Design
+from repro.experiments.common import FigureData
+from repro.experiments.runner import ExperimentRunner
+
+
+def run(
+    runner: Optional[ExperimentRunner] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> FigureData:
+    runner = runner or ExperimentRunner(workload_names)
+    data = FigureData(
+        figure="fig5",
+        title="B-PIM speedup over the GDDR5 baseline",
+        columns=["render_speedup", "texture_speedup"],
+        paper_reference=(
+            "B-PIM: 27% average (up to 30%) 3D rendering speedup and 1.07x "
+            "(up to 1.69x) texture filtering speedup over GDDR5."
+        ),
+    )
+    for workload in runner.workloads:
+        data.add_row(
+            workload.name,
+            render_speedup=runner.render_speedup(workload, Design.B_PIM),
+            texture_speedup=runner.texture_speedup(workload, Design.B_PIM),
+        )
+    data.notes.append(
+        f"mean render {data.mean('render_speedup'):.2f} (paper: 1.27); "
+        f"mean texture {data.mean('texture_speedup'):.2f} (paper: 1.07)"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    print(run().format_table())

@@ -1,0 +1,52 @@
+"""Fig. 10: texture filtering speedup under the four designs.
+
+The paper's headline texture result: A-TFIM (threshold 0.01*pi) speeds up
+texture filtering by 3.97x on average (up to 6.4x); B-PIM and S-TFIM
+barely move it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import Design
+from repro.core.angle import DEFAULT_THRESHOLD
+from repro.experiments.common import FigureData
+from repro.experiments.runner import ExperimentRunner
+
+DESIGN_COLUMNS = ["baseline", "b_pim", "s_tfim", "a_tfim_001pi"]
+
+
+def run(
+    runner: Optional[ExperimentRunner] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> FigureData:
+    runner = runner or ExperimentRunner(workload_names)
+    data = FigureData(
+        figure="fig10",
+        title="Normalized texture filtering speedup per design",
+        columns=DESIGN_COLUMNS,
+        paper_reference=(
+            "A-TFIM improves texture filtering by 3.97x on average (up to "
+            "6.4x); S-TFIM and B-PIM show little improvement."
+        ),
+    )
+    for workload in runner.workloads:
+        data.add_row(
+            workload.name,
+            baseline=1.0,
+            b_pim=runner.texture_speedup(workload, Design.B_PIM),
+            s_tfim=runner.texture_speedup(workload, Design.S_TFIM),
+            a_tfim_001pi=runner.texture_speedup(
+                workload, Design.A_TFIM, DEFAULT_THRESHOLD
+            ),
+        )
+    data.notes.append(
+        f"A-TFIM mean {data.mean('a_tfim_001pi'):.2f} / "
+        f"max {data.maximum('a_tfim_001pi'):.2f} (paper: 3.97 / 6.4)"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    print(run().format_table())

@@ -1,0 +1,52 @@
+"""Fig. 11: overall 3D rendering speedup under the four designs.
+
+The paper: A-TFIM achieves 43 % average (up to 65 %) overall rendering
+speedup; B-PIM and S-TFIM hover near +25 % and +26 % respectively, with
+S-TFIM's gain over B-PIM "trivial (only 1%)" and negative for some games.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import Design
+from repro.core.angle import DEFAULT_THRESHOLD
+from repro.experiments.common import FigureData
+from repro.experiments.runner import ExperimentRunner
+
+DESIGN_COLUMNS = ["baseline", "b_pim", "s_tfim", "a_tfim_001pi"]
+
+
+def run(
+    runner: Optional[ExperimentRunner] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> FigureData:
+    runner = runner or ExperimentRunner(workload_names)
+    data = FigureData(
+        figure="fig11",
+        title="Normalized 3D rendering speedup per design",
+        columns=DESIGN_COLUMNS,
+        paper_reference=(
+            "A-TFIM: 43% average (up to 65%) overall speedup; B-PIM ~27%; "
+            "S-TFIM ~= B-PIM (sometimes worse)."
+        ),
+    )
+    for workload in runner.workloads:
+        data.add_row(
+            workload.name,
+            baseline=1.0,
+            b_pim=runner.render_speedup(workload, Design.B_PIM),
+            s_tfim=runner.render_speedup(workload, Design.S_TFIM),
+            a_tfim_001pi=runner.render_speedup(
+                workload, Design.A_TFIM, DEFAULT_THRESHOLD
+            ),
+        )
+    data.notes.append(
+        f"A-TFIM mean {data.mean('a_tfim_001pi'):.2f} / "
+        f"max {data.maximum('a_tfim_001pi'):.2f} (paper: 1.43 / 1.65)"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    print(run().format_table())

@@ -1,0 +1,57 @@
+"""Fig. 12: texture memory traffic under the designs.
+
+The paper: S-TFIM inflates external texture traffic by 2.79x on average
+(per-app bars 2.07-6.37); A-TFIM at the strict 0.01*pi threshold sits
+slightly above baseline, and at the relaxed 0.05*pi threshold cuts
+traffic by 28 % on average (up to 64 %).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import Design
+from repro.core.angle import THRESHOLD_001PI, THRESHOLD_005PI
+from repro.experiments.common import FigureData
+from repro.experiments.runner import ExperimentRunner
+
+COLUMNS = ["baseline", "b_pim", "s_tfim", "a_tfim_001pi", "a_tfim_005pi"]
+
+
+def run(
+    runner: Optional[ExperimentRunner] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> FigureData:
+    runner = runner or ExperimentRunner(workload_names)
+    data = FigureData(
+        figure="fig12",
+        title="Normalized external texture memory traffic per design",
+        columns=COLUMNS,
+        paper_reference=(
+            "S-TFIM: 2.79x average texture traffic (bars 2.07-6.37). "
+            "A-TFIM-001pi: slightly above baseline. A-TFIM-005pi: -28% "
+            "average (up to -64%)."
+        ),
+    )
+    for workload in runner.workloads:
+        data.add_row(
+            workload.name,
+            baseline=1.0,
+            b_pim=runner.texture_traffic_ratio(workload, Design.B_PIM),
+            s_tfim=runner.texture_traffic_ratio(workload, Design.S_TFIM),
+            a_tfim_001pi=runner.texture_traffic_ratio(
+                workload, Design.A_TFIM, THRESHOLD_001PI
+            ),
+            a_tfim_005pi=runner.texture_traffic_ratio(
+                workload, Design.A_TFIM, THRESHOLD_005PI
+            ),
+        )
+    data.notes.append(
+        f"S-TFIM mean {data.mean('s_tfim'):.2f} (paper: 2.79); "
+        f"A-TFIM-005pi mean {data.mean('a_tfim_005pi'):.2f} (paper: 0.72)"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    print(run().format_table())

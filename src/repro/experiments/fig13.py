@@ -1,0 +1,52 @@
+"""Fig. 13: normalized energy consumption under the designs.
+
+The paper: A-TFIM (0.01*pi) consumes 22 % less energy than the baseline
+and 8 % less than B-PIM; S-TFIM consumes more than B-PIM because of its
+extra texture traffic; HMC is more energy-efficient than GDDR5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import Design
+from repro.core.angle import DEFAULT_THRESHOLD
+from repro.experiments.common import FigureData
+from repro.experiments.runner import ExperimentRunner
+
+COLUMNS = ["baseline", "b_pim", "s_tfim", "a_tfim_001pi"]
+
+
+def run(
+    runner: Optional[ExperimentRunner] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> FigureData:
+    runner = runner or ExperimentRunner(workload_names)
+    data = FigureData(
+        figure="fig13",
+        title="Normalized energy consumption per design",
+        columns=COLUMNS,
+        paper_reference=(
+            "A-TFIM: 22% less energy than baseline, 8% less than B-PIM; "
+            "S-TFIM worse than B-PIM; HMC beats GDDR5."
+        ),
+    )
+    for workload in runner.workloads:
+        data.add_row(
+            workload.name,
+            baseline=1.0,
+            b_pim=runner.energy_ratio(workload, Design.B_PIM),
+            s_tfim=runner.energy_ratio(workload, Design.S_TFIM),
+            a_tfim_001pi=runner.energy_ratio(
+                workload, Design.A_TFIM, DEFAULT_THRESHOLD
+            ),
+        )
+    data.notes.append(
+        f"A-TFIM mean {data.mean('a_tfim_001pi'):.2f} (paper: 0.78); "
+        f"B-PIM mean {data.mean('b_pim'):.2f}"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    print(run().format_table())

@@ -1,0 +1,56 @@
+"""Fig. 16: the performance-quality tradeoff, averaged across workloads.
+
+Combines Fig. 14's speedups and Fig. 15's PSNRs into the paper's
+tradeoff curve: looser thresholds buy speed and cost quality, with the
+knee at 0.01*pi motivating it as the default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.angle import THRESHOLD_SWEEP, AngleThreshold
+from repro.experiments import fig14, fig15
+from repro.experiments.common import FigureData
+from repro.experiments.runner import ExperimentRunner
+
+
+def run(
+    runner: Optional[ExperimentRunner] = None,
+    workload_names: Optional[Sequence[str]] = None,
+    thresholds: Optional[Sequence[AngleThreshold]] = None,
+    speedups: Optional[FigureData] = None,
+    qualities: Optional[FigureData] = None,
+) -> FigureData:
+    """Average Fig. 14/15 into the tradeoff curve.
+
+    Pass precomputed ``speedups``/``qualities`` to avoid re-running them.
+    """
+    runner = runner or ExperimentRunner(workload_names)
+    thresholds = list(thresholds or THRESHOLD_SWEEP)
+    if speedups is None:
+        speedups = fig14.run(runner)
+    if qualities is None:
+        qualities = fig15.run(runner, thresholds=thresholds)
+
+    data = FigureData(
+        figure="fig16",
+        title="Performance-quality tradeoff (averaged across workloads)",
+        columns=["speedup", "psnr"],
+        paper_reference=(
+            "Averaged speedup rises and PSNR falls monotonically with the "
+            "threshold; 0.01pi is the knee chosen as the default."
+        ),
+    )
+    for threshold in thresholds:
+        label = threshold.label
+        data.add_row(
+            label,
+            speedup=speedups.mean(label),
+            psnr=qualities.mean(label),
+        )
+    return data
+
+
+if __name__ == "__main__":
+    print(run().format_table(precision=2))

@@ -1,0 +1,125 @@
+"""Run every experiment and write EXPERIMENTS.md.
+
+``python -m repro report`` regenerates the full paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    fig02,
+    fig04,
+    fig05,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    overhead_analysis,
+    tables,
+)
+from repro.experiments.common import FigureData
+from repro.experiments.runner import FAST_WORKLOADS, ExperimentRunner
+from repro.experiments.validate import summarize, validate
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Reproduction of every table and figure in "Processing-in-Memory Enabled
+Graphics Processors for 3D Rendering" (HPCA 2017).  Regenerate with
+`python -m repro report` (add `--fast` for the 3-workload subset).
+
+Absolute magnitudes come from a cycle-approximate model over procedurally
+generated miniature frames (see DESIGN.md sections 2 and 5), so the
+claims to check are *shapes*: who wins, by roughly what factor, and where
+the crossovers fall.  Paper-quoted numbers are repeated next to each
+measurement.
+"""
+
+
+def _figure_section(data: FigureData, precision: int = 3) -> str:
+    out = io.StringIO()
+    out.write(f"\n## {data.figure}: {data.title}\n\n")
+    if data.paper_reference:
+        out.write(f"**Paper:** {data.paper_reference}\n\n")
+    out.write("```\n")
+    out.write(data.format_table(precision=precision))
+    out.write("\n```\n")
+    for note in data.notes:
+        out.write(f"\n*Measured:* {note}\n")
+    checks = validate(data)
+    if checks:
+        out.write(f"\n*Claims:* {summarize(checks)}\n")
+        for check in checks:
+            out.write(f"* {check}\n")
+    return out.getvalue()
+
+
+def generate(
+    workload_names: Optional[Sequence[str]] = None,
+    include_quality: bool = True,
+    include_ablations: bool = True,
+) -> str:
+    """Build the full EXPERIMENTS.md text."""
+    runner = ExperimentRunner(workload_names)
+    sections: List[str] = [HEADER]
+
+    sections.append("\n## Table I: simulator configuration\n\n```\n"
+                    + tables.format_table1() + "\n```\n")
+    sections.append("\n## Table II: gaming benchmarks\n\n```\n"
+                    + tables.format_table2() + "\n```\n")
+
+    sections.append(_figure_section(fig02.run(runner)))
+    sections.append(_figure_section(fig04.run(runner)))
+    sections.append(_figure_section(fig05.run(runner)))
+    sections.append(_figure_section(fig10.run(runner)))
+    sections.append(_figure_section(fig11.run(runner)))
+    sections.append(_figure_section(fig12.run(runner)))
+    sections.append(_figure_section(fig13.run(runner)))
+    speedups = fig14.run(runner)
+    sections.append(_figure_section(speedups))
+    if include_quality:
+        qualities = fig15.run(runner)
+        sections.append(_figure_section(qualities, precision=1))
+        sections.append(
+            _figure_section(
+                fig16.run(runner, speedups=speedups, qualities=qualities),
+                precision=2,
+            )
+        )
+    sections.append(_figure_section(overhead_analysis.run(), precision=4))
+
+    if include_ablations:
+        names = [w.name for w in runner.workloads]
+        sections.append(_figure_section(ablations.mtu_sharing(runner)))
+        sections.append(_figure_section(ablations.consolidation(runner)))
+        sections.append(_figure_section(ablations.anisotropy_cap(names[0])))
+        sections.append(_figure_section(ablations.internal_bandwidth(names[0])))
+
+    return "".join(sections)
+
+
+def write_report(
+    path: str = "EXPERIMENTS.md",
+    workload_names: Optional[Sequence[str]] = None,
+    include_quality: bool = True,
+    include_ablations: bool = True,
+) -> Path:
+    """Generate and write the report; return the output path."""
+    started = time.time()
+    text = generate(workload_names, include_quality, include_ablations)
+    elapsed = time.time() - started
+    text += f"\n---\nGenerated in {elapsed:.0f} s.\n"
+    output = Path(path)
+    output.write_text(text)
+    return output
+
+
+if __name__ == "__main__":
+    print(write_report(workload_names=FAST_WORKLOADS))

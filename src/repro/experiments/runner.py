@@ -1,0 +1,154 @@
+"""Experiment runner with memoised design simulations.
+
+Most figures slice the same underlying grid -- (workload x design x
+threshold x aniso) -- so the runner memoises :func:`simulate_frame`
+results and the per-workload traces.  All experiments are deterministic;
+the cache is purely a time saver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import Design, DesignConfig, simulate_frame
+from repro.core.angle import DEFAULT_THRESHOLD, AngleThreshold
+from repro.core.frontend import DesignRun
+from repro.energy import EnergyBreakdown, EnergyModel
+from repro.render.scene import Scene
+from repro.texture.requests import FragmentTrace
+from repro.workloads import WORKLOADS, GameWorkload, workload_by_name
+
+FAST_WORKLOADS = ["doom3-640x480", "riddick-640x480", "wolfenstein-640x480"]
+"""Small subset used by tests and quick runs (sub-second traces)."""
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Memoisation key for one design simulation."""
+
+    workload: str
+    design: Design
+    angle_threshold: float
+    aniso_enabled: bool
+    mtu_share: int = 1
+    consolidation_enabled: bool = True
+
+
+class ExperimentRunner:
+    """Runs and memoises design simulations over the workload set."""
+
+    def __init__(self, workload_names: Optional[Sequence[str]] = None) -> None:
+        if workload_names is None:
+            self.workloads: List[GameWorkload] = list(WORKLOADS)
+        else:
+            self.workloads = [workload_by_name(name) for name in workload_names]
+        self._traces: Dict[str, Tuple[Scene, FragmentTrace]] = {}
+        self._runs: Dict[RunKey, DesignRun] = {}
+        self._energy: Dict[RunKey, EnergyBreakdown] = {}
+        self.energy_model = EnergyModel()
+
+    def trace(self, workload: GameWorkload) -> Tuple[Scene, FragmentTrace]:
+        if workload.name not in self._traces:
+            self._traces[workload.name] = workload.trace()
+        return self._traces[workload.name]
+
+    def run(
+        self,
+        workload: GameWorkload,
+        design: Design,
+        threshold: Optional[AngleThreshold] = None,
+        aniso_enabled: bool = True,
+        mtu_share: int = 1,
+        consolidation_enabled: bool = True,
+    ) -> DesignRun:
+        """Simulate (memoised) one workload under one design point."""
+        threshold = threshold or DEFAULT_THRESHOLD
+        key = RunKey(
+            workload=workload.name,
+            design=design,
+            angle_threshold=threshold.effective_radians,
+            aniso_enabled=aniso_enabled,
+            mtu_share=mtu_share,
+            consolidation_enabled=consolidation_enabled,
+        )
+        if key not in self._runs:
+            scene, trace = self.trace(workload)
+            config = workload.design_config(
+                design,
+                angle_threshold=threshold.effective_radians,
+                aniso_enabled=aniso_enabled,
+                mtu_share=mtu_share,
+                consolidation_enabled=consolidation_enabled,
+            )
+            self._runs[key] = simulate_frame(scene, trace, config)
+        return self._runs[key]
+
+    def energy(
+        self,
+        workload: GameWorkload,
+        design: Design,
+        threshold: Optional[AngleThreshold] = None,
+    ) -> EnergyBreakdown:
+        """Frame energy (memoised) for one design point."""
+        threshold = threshold or DEFAULT_THRESHOLD
+        key = RunKey(
+            workload=workload.name,
+            design=design,
+            angle_threshold=threshold.effective_radians,
+            aniso_enabled=True,
+        )
+        if key not in self._energy:
+            run = self.run(workload, design, threshold)
+            self._energy[key] = self.energy_model.frame_energy(design, run.frame)
+        return self._energy[key]
+
+    def baseline(self, workload: GameWorkload) -> DesignRun:
+        return self.run(workload, Design.BASELINE)
+
+    # Convenience ratios ------------------------------------------------
+
+    def texture_speedup(
+        self,
+        workload: GameWorkload,
+        design: Design,
+        threshold: Optional[AngleThreshold] = None,
+    ) -> float:
+        """Fig. 10 metric: mean texture-filter latency ratio."""
+        run = self.run(workload, design, threshold)
+        return run.frame.texture_speedup_over(self.baseline(workload).frame)
+
+    def render_speedup(
+        self,
+        workload: GameWorkload,
+        design: Design,
+        threshold: Optional[AngleThreshold] = None,
+    ) -> float:
+        """Fig. 11 metric: frame makespan ratio."""
+        run = self.run(workload, design, threshold)
+        return run.frame.speedup_over(self.baseline(workload).frame)
+
+    def texture_traffic_ratio(
+        self,
+        workload: GameWorkload,
+        design: Design,
+        threshold: Optional[AngleThreshold] = None,
+    ) -> float:
+        """Fig. 12 metric: external texture bytes, normalized."""
+        run = self.run(workload, design, threshold)
+        base = self.baseline(workload).frame.traffic.external_texture
+        if base <= 0:
+            raise ValueError(f"baseline of {workload.name} moved no texture bytes")
+        return run.frame.traffic.external_texture / base
+
+    def energy_ratio(
+        self,
+        workload: GameWorkload,
+        design: Design,
+        threshold: Optional[AngleThreshold] = None,
+    ) -> float:
+        """Fig. 13 metric: total frame energy, normalized."""
+        energy = self.energy(workload, design, threshold)
+        base = self.energy(workload, Design.BASELINE)
+        return energy.total / base.total

@@ -1,0 +1,201 @@
+"""Programmatic paper-vs-measured validation.
+
+Each figure's qualitative claims are encoded as named checks over the
+regenerated :class:`~repro.experiments.common.FigureData`; the report
+runs them and EXPERIMENTS.md records pass/fail per claim.  Checks assert
+*shapes* (orderings, monotonicity, bands), not absolute cycle counts --
+the reproduction's contract (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.common import FigureData
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one claim check."""
+
+    figure: str
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.figure}: {self.claim} ({self.detail})"
+
+
+def _check(figure: str, claim: str, passed: bool, detail: str) -> CheckResult:
+    return CheckResult(figure=figure, claim=claim, passed=bool(passed),
+                       detail=detail)
+
+
+def check_fig02(data: FigureData) -> List[CheckResult]:
+    """Texture fetches dominate memory traffic (paper: ~60 % average)."""
+    mean_share = data.mean("texture")
+    results = [
+        _check("fig2", "texture is the largest traffic class in every app",
+               all(row.get("texture") == max(row.values.values())
+                   for row in data.rows),
+               f"min share {min(data.column('texture')):.2f}"),
+        _check("fig2", "average texture share in the 40-80% band",
+               0.40 <= mean_share <= 0.80,
+               f"mean {mean_share:.2f} (paper ~0.60)"),
+    ]
+    return results
+
+
+def check_fig04(data: FigureData) -> List[CheckResult]:
+    """Disabling anisotropic filtering helps speed and traffic."""
+    return [
+        _check("fig4", "every app speeds up with anisotropic disabled",
+               all(v >= 1.0 for v in data.column("texture_speedup")),
+               f"min {min(data.column('texture_speedup')):.2f}"),
+        _check("fig4", "texture traffic drops (paper: -34% average)",
+               data.mean("normalized_traffic") < 0.9,
+               f"mean {data.mean('normalized_traffic'):.2f}"),
+    ]
+
+
+def check_fig05(data: FigureData) -> List[CheckResult]:
+    """B-PIM helps overall rendering (paper: +27 % average)."""
+    return [
+        _check("fig5", "B-PIM never slows rendering",
+               all(v > 1.0 for v in data.column("render_speedup")),
+               f"min {min(data.column('render_speedup')):.2f}"),
+        _check("fig5", "B-PIM average render speedup in the 1.05-1.6 band",
+               1.05 <= data.mean("render_speedup") <= 1.6,
+               f"mean {data.mean('render_speedup'):.2f} (paper 1.27)"),
+    ]
+
+
+def check_fig10(data: FigureData) -> List[CheckResult]:
+    """A-TFIM dominates texture filtering."""
+    return [
+        _check("fig10", "A-TFIM beats S-TFIM on every app",
+               all(row.get("a_tfim_001pi") > row.get("s_tfim")
+                   for row in data.rows),
+               "per-app ordering"),
+        _check("fig10", "A-TFIM mean texture speedup > 1.5x",
+               data.mean("a_tfim_001pi") > 1.5,
+               f"mean {data.mean('a_tfim_001pi'):.2f} (paper 3.97)"),
+        _check("fig10", "B-PIM texture gain modest vs A-TFIM",
+               data.mean("b_pim") < data.mean("a_tfim_001pi"),
+               f"b-pim {data.mean('b_pim'):.2f}"),
+    ]
+
+
+def check_fig11(data: FigureData) -> List[CheckResult]:
+    """A-TFIM overall rendering speedup (paper: 1.43x avg, 1.65x max)."""
+    return [
+        _check("fig11", "A-TFIM mean render speedup in the 1.2-1.9 band",
+               1.2 <= data.mean("a_tfim_001pi") <= 1.9,
+               f"mean {data.mean('a_tfim_001pi'):.2f} (paper 1.43)"),
+        _check("fig11", "S-TFIM ~= B-PIM or worse",
+               all(row.get("s_tfim") <= row.get("b_pim") * 1.05
+                   for row in data.rows),
+               "per-app ordering"),
+    ]
+
+
+def check_fig12(data: FigureData) -> List[CheckResult]:
+    """Traffic: S-TFIM inflates; A-TFIM-005pi saves (paper -28 %)."""
+    return [
+        _check("fig12", "S-TFIM mean traffic in the 2-8x band",
+               2.0 <= data.mean("s_tfim") <= 8.0,
+               f"mean {data.mean('s_tfim'):.2f} (paper 2.79)"),
+        _check("fig12", "A-TFIM-005pi saves traffic vs baseline",
+               data.mean("a_tfim_005pi") < 1.0,
+               f"mean {data.mean('a_tfim_005pi'):.2f} (paper 0.72)"),
+        _check("fig12", "stricter threshold means more traffic",
+               all(row.get("a_tfim_001pi") >= row.get("a_tfim_005pi")
+                   for row in data.rows),
+               "per-app ordering"),
+    ]
+
+
+def check_fig13(data: FigureData) -> List[CheckResult]:
+    """Energy: A-TFIM < B-PIM < baseline; S-TFIM > B-PIM."""
+    return [
+        _check("fig13", "A-TFIM saves energy vs baseline (paper -22%)",
+               data.mean("a_tfim_001pi") < 1.0,
+               f"mean {data.mean('a_tfim_001pi'):.2f} (paper 0.78)"),
+        _check("fig13", "A-TFIM beats B-PIM (paper -8%)",
+               data.mean("a_tfim_001pi") < data.mean("b_pim"),
+               f"b-pim {data.mean('b_pim'):.2f}"),
+        _check("fig13", "S-TFIM worse than B-PIM in every app",
+               all(row.get("s_tfim") > row.get("b_pim")
+                   for row in data.rows),
+               "per-app ordering"),
+    ]
+
+
+def check_fig14(data: FigureData) -> List[CheckResult]:
+    """Speedup rises monotonically with the angle threshold."""
+    means = [data.mean(column) for column in data.columns]
+    monotone = all(b >= a - 1e-9 for a, b in zip(means, means[1:]))
+    return [
+        _check("fig14", "mean speedup monotone in the threshold",
+               monotone, f"{means[0]:.2f} -> {means[-1]:.2f}"),
+    ]
+
+
+def check_fig15(data: FigureData) -> List[CheckResult]:
+    """Quality: strict end best, visible drop toward no-recalculation."""
+    ends_ordered = all(
+        row.values[data.columns[0]] >= row.values[data.columns[-1]] - 1e-9
+        for row in data.rows
+    )
+    means = [data.mean(column) for column in data.columns]
+    return [
+        _check("fig15", "strictest threshold gives the best quality",
+               ends_ordered, "per-app endpoint ordering"),
+        _check("fig15", "averaged quality peaks strict and drops loose",
+               means[0] == max(means) and means[0] - means[-1] > 2.0,
+               f"{means[0]:.1f}dB -> {means[-1]:.1f}dB"),
+    ]
+
+
+def check_fig16(data: FigureData) -> List[CheckResult]:
+    """The averaged tradeoff curve: speed up, quality down."""
+    speedups = data.column("speedup")
+    psnrs = data.column("psnr")
+    return [
+        _check("fig16", "loosest threshold is the fastest",
+               speedups[-1] >= speedups[0],
+               f"{speedups[0]:.2f} -> {speedups[-1]:.2f}"),
+        _check("fig16", "strictest threshold is the highest quality",
+               psnrs[0] == max(psnrs),
+               f"{psnrs[0]:.1f}dB -> {psnrs[-1]:.1f}dB"),
+    ]
+
+
+CHECKERS: Dict[str, Callable[[FigureData], List[CheckResult]]] = {
+    "fig2": check_fig02,
+    "fig4": check_fig04,
+    "fig5": check_fig05,
+    "fig10": check_fig10,
+    "fig11": check_fig11,
+    "fig12": check_fig12,
+    "fig13": check_fig13,
+    "fig14": check_fig14,
+    "fig15": check_fig15,
+    "fig16": check_fig16,
+}
+
+
+def validate(data: FigureData) -> List[CheckResult]:
+    """Run the registered claims for one figure (empty if none)."""
+    checker = CHECKERS.get(data.figure)
+    if checker is None:
+        return []
+    return checker(data)
+
+
+def summarize(results: Sequence[CheckResult]) -> str:
+    passed = sum(1 for result in results if result.passed)
+    return f"{passed}/{len(results)} paper claims hold"

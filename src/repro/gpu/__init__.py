@@ -1,0 +1,42 @@
+"""GPU pipeline substrate (ATTILA-like, cycle-approximate).
+
+Models the baseline GPU of the paper's Fig. 1 / Table I: 16 unified-shader
+clusters, each with a private texture unit and L1 texture cache, a shared
+L2 texture cache, a tile-based rasterizer with early-Z, and ROP units.
+
+* :mod:`repro.gpu.config` -- Table I as a dataclass.
+* :mod:`repro.gpu.geometry` -- geometry-stage time/traffic model.
+* :mod:`repro.gpu.shader` -- shader-cluster compute time model.
+* :mod:`repro.gpu.rop` -- ROP (z/color/framebuffer) time and traffic.
+* :mod:`repro.gpu.texunit` -- the texture unit's pipelined resources.
+* :mod:`repro.gpu.pipeline` -- whole-frame simulation combining the
+  stages with a design-specific texture path.
+"""
+
+from repro.gpu.config import GPUConfig, TextureUnitConfig
+
+__all__ = [
+    "GPUConfig",
+    "TextureUnitConfig",
+    "GpuPipeline",
+    "FrameResult",
+    "StageTimes",
+]
+
+_PIPELINE_EXPORTS = {"GpuPipeline", "FrameResult", "StageTimes"}
+
+
+def __getattr__(name: str):
+    """Lazily expose the pipeline classes.
+
+    :mod:`repro.gpu.pipeline` depends on the texture-path interface in
+    :mod:`repro.core.paths`, which itself configures against
+    :class:`GPUConfig`; importing the pipeline eagerly here would close
+    an import cycle.  PEP 562 lazy attributes keep the public API
+    (``repro.gpu.GpuPipeline``) intact without the cycle.
+    """
+    if name in _PIPELINE_EXPORTS:
+        from repro.gpu import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,93 @@
+"""GPU configuration -- the paper's Table I as dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.texture.cache import CacheConfig
+
+
+@dataclass(frozen=True)
+class TextureUnitConfig:
+    """One texture unit's ALU provision.
+
+    Table I: the baseline GPU texture unit (and the S-TFIM MTU) has 4
+    address ALUs and 8 filtering ALUs; the A-TFIM in-memory units (Texel
+    Generator / Combination Unit) have 16 of each.
+    """
+
+    address_alus: int = 4
+    filter_alus: int = 8
+    pipeline_depth: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.address_alus <= 0 or self.filter_alus <= 0:
+            raise ValueError("ALU counts must be positive")
+        if self.pipeline_depth < 0:
+            raise ValueError("pipeline depth must be non-negative")
+
+
+GPU_TEXTURE_UNIT = TextureUnitConfig(address_alus=4, filter_alus=8)
+MTU_TEXTURE_UNIT = TextureUnitConfig(address_alus=4, filter_alus=8)
+ATFIM_MEMORY_UNIT = TextureUnitConfig(address_alus=16, filter_alus=16)
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Host GPU configuration (Table I).
+
+    The overlap factor encodes how much of the fragment stage's three
+    concurrent activities (shader compute, texture filtering, ROP/memory
+    writeback) fail to overlap; see DESIGN.md section 5.  It is the one
+    fitted constant in the pipeline model and is shared by all designs,
+    so it scales magnitudes without affecting design orderings.
+    """
+
+    num_clusters: int = 16
+    shaders_per_cluster: int = 16
+    frequency_ghz: float = 1.0
+    tile_size: int = 16
+    texture_unit: TextureUnitConfig = field(default_factory=lambda: GPU_TEXTURE_UNIT)
+    l1_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=16 * 1024, associativity=16)
+    )
+    l2_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=128 * 1024, associativity=16)
+    )
+    l2_latency_cycles: float = 20.0
+    max_inflight_texture_requests: int = 64
+    """Outstanding texture requests one cluster's warps can cover before
+    the shader stalls (latency-hiding depth): 16 shaders x 4-element
+    quads of in-flight fragment batches."""
+
+    shader_cycles_per_fragment: float = 128.0
+    """ALU cycles of non-texture fragment-shader work per fragment
+    (shader programs of this game generation run tens to a few hundred
+    ALU operations per fragment; the value is calibrated so the
+    baseline's texture share of frame time makes the overall speedups
+    land in the paper's bands -- see DESIGN.md section 5)."""
+
+    vertex_cycles_per_vertex: float = 12.0
+    vertices_per_cycle: float = 4.0
+    fragments_per_cycle_raster: float = 16.0
+    overlap_factor: float = 0.55
+    """Fraction of non-dominant fragment-stage work that is NOT hidden
+    behind the dominant activity (0 = perfect overlap, 1 = fully serial)."""
+
+    vertex_bytes: int = 32
+    zbuffer_bytes_per_fragment: float = 6.0
+    color_bytes_per_fragment: float = 4.0
+    framebuffer_bytes_per_pixel: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.num_clusters <= 0 or self.shaders_per_cluster <= 0:
+            raise ValueError("cluster/shader counts must be positive")
+        if not 0.0 <= self.overlap_factor <= 1.0:
+            raise ValueError("overlap factor must be in [0, 1]")
+        if self.max_inflight_texture_requests <= 0:
+            raise ValueError("in-flight depth must be positive")
+
+    @property
+    def num_texture_units(self) -> int:
+        """One texture unit per cluster (Table I: 16 for the baseline)."""
+        return self.num_clusters

@@ -1,0 +1,48 @@
+"""Geometry-stage time and traffic model.
+
+Stage (1) of the paper's pipeline: vertex fetch, shading, primitive
+assembly, clipping.  The stage is throughput-limited by the vertex fetch
+rate and the shader ALU work per vertex; its memory traffic is the vertex
+stream (the "Geometry" slice of Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+from repro.memory.traffic import TrafficClass, TrafficMeter
+
+
+@dataclass(frozen=True)
+class GeometryResult:
+    """Cycles and traffic of the geometry stage for one frame."""
+
+    cycles: float
+    vertex_bytes: float
+    vertices: int
+
+
+def simulate_geometry(
+    config: GPUConfig,
+    num_vertices: int,
+    traffic: TrafficMeter,
+) -> GeometryResult:
+    """Model the geometry stage for ``num_vertices`` input vertices.
+
+    Vertex shading work spreads across all unified shaders; vertex fetch
+    is limited by the fetcher's issue rate.  The slower of the two paces
+    the stage.
+    """
+    if num_vertices < 0:
+        raise ValueError("negative vertex count")
+    fetch_cycles = num_vertices / config.vertices_per_cycle
+    total_shader_alus = config.num_clusters * config.shaders_per_cluster
+    shade_cycles = num_vertices * config.vertex_cycles_per_vertex / total_shader_alus
+    vertex_bytes = float(num_vertices * config.vertex_bytes)
+    traffic.add_external(TrafficClass.GEOMETRY, vertex_bytes)
+    return GeometryResult(
+        cycles=max(fetch_cycles, shade_cycles),
+        vertex_bytes=vertex_bytes,
+        vertices=num_vertices,
+    )

@@ -1,0 +1,290 @@
+"""Whole-frame GPU simulation: stages, overlap, and the texture replay.
+
+The frame time decomposes as::
+
+    frame = geometry + rasterization + fragment_stage
+
+where the fragment stage runs three concurrent activities -- fragment
+shading (ALU), texture filtering, and ROP/memory writeback -- combined
+with a partial-overlap rule (DESIGN.md section 5)::
+
+    fragment_stage = max(parts) + overlap_factor * (sum(parts) - max(parts))
+
+Texture filtering time is *measured*, not modelled analytically: the
+request stream from the rasterizer is replayed through the design's
+texture path with per-cluster issue pacing and a bounded number of
+outstanding requests per cluster (the shader's latency-hiding depth).
+The paper's texture-filtering latency metric -- shader issue to filtered
+result -- falls out of the same replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.expansion import ExpandedRequest, RequestExpander
+from repro.core.paths import CacheHierarchyStats, PathActivity, TexturePath
+from repro.gpu.config import GPUConfig
+from repro.gpu.geometry import GeometryResult, simulate_geometry
+from repro.gpu.rop import RopResult, simulate_rop
+from repro.gpu.shader import ShaderResult, simulate_fragment_shading
+from repro.memory.traffic import TrafficMeter
+from repro.sim.events import LatencyHistogram
+from repro.texture.requests import FragmentTrace
+
+
+@dataclass
+class StageTimes:
+    """Cycle counts per pipeline stage for one frame."""
+
+    geometry: float = 0.0
+    rasterization: float = 0.0
+    shader: float = 0.0
+    texture: float = 0.0
+    rop: float = 0.0
+    fragment_stage: float = 0.0
+
+    @property
+    def frame(self) -> float:
+        return self.geometry + self.rasterization + self.fragment_stage
+
+
+@dataclass
+class FrameResult:
+    """Everything one simulated frame reports."""
+
+    stages: StageTimes
+    traffic: TrafficMeter
+    texture_latency: LatencyHistogram
+    path_activity: PathActivity
+    cache_stats: CacheHierarchyStats
+    num_fragments: int
+    num_requests: int
+    texels_requested: int
+    geometry: GeometryResult
+    rop: RopResult
+    shader: ShaderResult
+
+    @property
+    def frame_cycles(self) -> float:
+        return self.stages.frame
+
+    @property
+    def texture_cycles(self) -> float:
+        """The texture subsystem's makespan for the frame (the quantity
+        that feeds the fragment-stage overlap model)."""
+        return self.stages.texture
+
+    @property
+    def texture_filter_latency(self) -> float:
+        """Mean texture-filtering latency per request.
+
+        This is the paper's texture-filtering performance metric
+        (section VII-A): "the latency for texture filtering from the
+        time when a shader sends out the texel fetching request to when
+        it receives the final texture output".  Fig. 10 plots the ratio
+        of these means.
+        """
+        return self.texture_latency.mean
+
+    def speedup_over(self, baseline: "FrameResult") -> float:
+        """Overall 3D-rendering speedup relative to a baseline frame
+        (Fig. 11's metric: frame makespan ratio)."""
+        if self.frame_cycles <= 0:
+            raise ValueError("degenerate frame time")
+        return baseline.frame_cycles / self.frame_cycles
+
+    def texture_speedup_over(self, baseline: "FrameResult") -> float:
+        """Texture-filtering speedup relative to a baseline frame
+        (Fig. 10's metric: mean request-latency ratio)."""
+        if self.texture_filter_latency <= 0:
+            raise ValueError("degenerate texture latency")
+        return baseline.texture_filter_latency / self.texture_filter_latency
+
+    def summary(self) -> str:
+        """A multi-line human-readable digest of this frame."""
+        stages = self.stages
+        traffic = self.traffic
+        breakdown = traffic.breakdown()
+        lines = [
+            f"frame: {self.frame_cycles:.0f} cycles "
+            f"({self.num_requests} texture requests, "
+            f"{self.texels_requested} texels)",
+            f"stages: geometry {stages.geometry:.0f} | "
+            f"raster {stages.rasterization:.0f} | "
+            f"shader {stages.shader:.0f} | "
+            f"texture {stages.texture:.0f} | "
+            f"rop {stages.rop:.0f} | "
+            f"fragment-stage {stages.fragment_stage:.0f}",
+            f"texture latency: mean {self.texture_filter_latency:.0f}, "
+            f"max {self.texture_latency.max_latency:.0f}",
+            f"external traffic: {traffic.external_total / 1024:.1f} KB "
+            f"(texture {breakdown['texture']:.0%}) | "
+            f"internal: {traffic.internal_total / 1024:.1f} KB",
+        ]
+        if self.cache_stats.l1_accesses:
+            stats = self.cache_stats
+            lines.append(
+                f"texture caches: L1 {stats.l1_hit_rate:.0%} hit "
+                f"({stats.l1_angle_misses} angle recalcs), "
+                f"L2 {stats.l2_hits} hits / {stats.l2_misses} misses"
+            )
+        return "\n".join(lines)
+
+
+class GpuPipeline:
+    """Simulates whole frames given a texture path."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+
+    def assign_clusters(self, trace: FragmentTrace) -> List[int]:
+        """Bind each request to a shader cluster by tile, round-robin.
+
+        Fragment tiles are the rasterizer's work units (section II-A);
+        distributing tiles round-robin across clusters is the baseline
+        architecture's load-balancing policy and keeps a tile's texel
+        locality within one L1.
+        """
+        tile_size = trace.tile_size
+        tiles_x = max(1, (trace.width + tile_size - 1) // tile_size)
+        assignments = []
+        for request in trace.requests:
+            tile_index = request.tile_y * tiles_x + request.tile_x
+            assignments.append(tile_index % self.config.num_clusters)
+        return assignments
+
+    def replay_texture_stream(
+        self,
+        trace: FragmentTrace,
+        expanded: Sequence[ExpandedRequest],
+        path: TexturePath,
+    ) -> tuple[float, LatencyHistogram, List[int]]:
+        """Replay all texture requests through a texture path.
+
+        Per cluster, requests issue one per cycle, but a request may not
+        issue until the request ``max_inflight`` positions earlier has
+        completed (finite latency-hiding depth).  Returns the texture
+        makespan, the latency histogram, and per-cluster fragment counts.
+        """
+        import heapq
+
+        config = self.config
+        assignments = self.assign_clusters(trace)
+        histogram = LatencyHistogram("texture_latency")
+        depth = config.max_inflight_texture_requests
+        fragments_per_cluster = [0] * config.num_clusters
+        makespan = 0.0
+
+        # Partition the request stream per cluster, preserving order.
+        per_cluster: List[List[ExpandedRequest]] = [
+            [] for _ in range(config.num_clusters)
+        ]
+        for request_index, expansion in enumerate(expanded):
+            cluster = assignments[request_index]
+            per_cluster[cluster].append(expansion)
+            fragments_per_cluster[cluster] += 1
+
+        # Event-ordered replay: always serve the cluster whose next
+        # request issues earliest, so shared resources (L2 port, links,
+        # memory channels) observe arrivals in simulated-time order.
+        cluster_clock = [0.0] * config.num_clusters
+        cursor = [0] * config.num_clusters
+        inflight: List[List[float]] = [[] for _ in range(config.num_clusters)]
+
+        def next_issue(cluster: int) -> float:
+            issue = cluster_clock[cluster]
+            window = inflight[cluster]
+            if len(window) >= depth and window[-depth] > issue:
+                issue = window[-depth]
+            return issue
+
+        heap: List[tuple[float, int]] = []
+        for cluster in range(config.num_clusters):
+            if per_cluster[cluster]:
+                heapq.heappush(heap, (next_issue(cluster), cluster))
+
+        while heap:
+            issue, cluster = heapq.heappop(heap)
+            current = next_issue(cluster)
+            if current > issue:
+                # Window state changed since this entry was pushed.
+                heapq.heappush(heap, (current, cluster))
+                continue
+            expansion = per_cluster[cluster][cursor[cluster]]
+            cursor[cluster] += 1
+            completion = path.serve(cluster, issue, expansion)
+            if completion < issue:
+                raise RuntimeError("texture path completed before issue")
+            histogram.observe(completion - issue)
+            window = inflight[cluster]
+            window.append(completion)
+            if len(window) > depth:
+                del window[0]
+            cluster_clock[cluster] = issue + 1.0
+            if completion > makespan:
+                makespan = completion
+            if cursor[cluster] < len(per_cluster[cluster]):
+                heapq.heappush(heap, (next_issue(cluster), cluster))
+
+        return makespan, histogram, fragments_per_cluster
+
+    def simulate_frame(
+        self,
+        trace: FragmentTrace,
+        expanded: Sequence[ExpandedRequest],
+        path: TexturePath,
+        traffic: TrafficMeter,
+        num_vertices: int,
+        external_bytes_per_cycle: float,
+    ) -> FrameResult:
+        """Run the full pipeline model for one frame."""
+        if len(expanded) != len(trace.requests):
+            raise ValueError("expansion list does not match the trace")
+        config = self.config
+
+        geometry = simulate_geometry(config, num_vertices, traffic)
+
+        raster_cycles = len(trace.requests) / config.fragments_per_cycle_raster
+
+        texture_cycles, histogram, fragments_per_cluster = (
+            self.replay_texture_stream(trace, expanded, path)
+        )
+
+        shader = simulate_fragment_shading(config, fragments_per_cluster)
+
+        rop = simulate_rop(
+            config,
+            num_fragments=len(trace.requests),
+            num_pixels=trace.width * trace.height,
+            external_bytes_per_cycle=external_bytes_per_cycle,
+            traffic=traffic,
+        )
+
+        parts = [shader.cycles, texture_cycles, rop.cycles]
+        dominant = max(parts)
+        fragment_stage = dominant + config.overlap_factor * (sum(parts) - dominant)
+
+        stages = StageTimes(
+            geometry=geometry.cycles,
+            rasterization=raster_cycles,
+            shader=shader.cycles,
+            texture=texture_cycles,
+            rop=rop.cycles,
+            fragment_stage=fragment_stage,
+        )
+        texels = sum(expansion.num_conventional_texels for expansion in expanded)
+        return FrameResult(
+            stages=stages,
+            traffic=traffic,
+            texture_latency=histogram,
+            path_activity=path.activity(),
+            cache_stats=path.cache_stats(),
+            num_fragments=len(trace.requests),
+            num_requests=len(trace.requests),
+            texels_requested=texels,
+            geometry=geometry,
+            rop=rop,
+            shader=shader,
+        )

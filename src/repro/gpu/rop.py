@@ -1,0 +1,67 @@
+"""ROP model: z-test, color and framebuffer traffic and time.
+
+The ROP's job in this model is to account the non-texture memory traffic
+classes of Fig. 2 (frame buffer, Z-test, color buffer) and to contribute
+the memory-bound component of the fragment stage: writing the frame out
+through the same external interface the texture fetches compete for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+from repro.memory.traffic import TrafficClass, TrafficMeter
+
+
+@dataclass(frozen=True)
+class RopResult:
+    """Cycles and traffic of the ROP/writeback path for one frame."""
+
+    cycles: float
+    z_bytes: float
+    color_bytes: float
+    framebuffer_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.z_bytes + self.color_bytes + self.framebuffer_bytes
+
+
+def simulate_rop(
+    config: GPUConfig,
+    num_fragments: int,
+    num_pixels: int,
+    external_bytes_per_cycle: float,
+    traffic: TrafficMeter,
+) -> RopResult:
+    """Model ROP traffic and the cycles it occupies on the external bus.
+
+    * Z traffic scales with shaded fragments (each is depth-tested; the
+      tile-based early-Z keeps much of it on chip, which the per-fragment
+      byte constant already reflects).
+    * Color traffic scales with shaded fragments (blend/write).
+    * Frame-buffer traffic scales with the frame's pixel count (the final
+      resolve/update of the render target).
+
+    The cycle cost charges the ROP bytes against the external interface
+    bandwidth: this is the memory-bound piece of the fragment stage that
+    HMC's higher link bandwidth accelerates in B-PIM (Fig. 5).
+    """
+    if num_fragments < 0 or num_pixels < 0:
+        raise ValueError("negative counts")
+    if external_bytes_per_cycle <= 0:
+        raise ValueError("bandwidth must be positive")
+    z_bytes = num_fragments * config.zbuffer_bytes_per_fragment
+    color_bytes = num_fragments * config.color_bytes_per_fragment
+    framebuffer_bytes = num_pixels * config.framebuffer_bytes_per_pixel
+    traffic.add_external(TrafficClass.ZTEST, z_bytes)
+    traffic.add_external(TrafficClass.COLOR, color_bytes)
+    traffic.add_external(TrafficClass.FRAMEBUFFER, framebuffer_bytes)
+    total = z_bytes + color_bytes + framebuffer_bytes
+    return RopResult(
+        cycles=total / external_bytes_per_cycle,
+        z_bytes=z_bytes,
+        color_bytes=color_bytes,
+        framebuffer_bytes=framebuffer_bytes,
+    )

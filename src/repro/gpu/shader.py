@@ -1,0 +1,51 @@
+"""Shader-cluster compute time model.
+
+The unified shaders perform the non-texture fragment work (attribute
+interpolation, color math, writes to the ROP).  Per cluster, the compute
+time is the fragment count times the per-fragment ALU cycles divided by
+the cluster's shader width; the frame's shader time is the maximum over
+clusters (load imbalance appears naturally through the tile->cluster
+assignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class ShaderResult:
+    """Fragment-shading compute time for one frame."""
+
+    cycles: float
+    fragments: int
+    busiest_cluster: int
+
+
+def simulate_fragment_shading(
+    config: GPUConfig,
+    fragments_per_cluster: Sequence[int],
+) -> ShaderResult:
+    """Compute the fragment-shader time from per-cluster fragment counts."""
+    if len(fragments_per_cluster) != config.num_clusters:
+        raise ValueError(
+            f"expected {config.num_clusters} cluster counts, "
+            f"got {len(fragments_per_cluster)}"
+        )
+    worst_cycles = 0.0
+    worst_cluster = 0
+    for cluster, count in enumerate(fragments_per_cluster):
+        if count < 0:
+            raise ValueError("negative fragment count")
+        cycles = count * config.shader_cycles_per_fragment / config.shaders_per_cluster
+        if cycles > worst_cycles:
+            worst_cycles = cycles
+            worst_cluster = cluster
+    return ShaderResult(
+        cycles=worst_cycles,
+        fragments=sum(fragments_per_cluster),
+        busiest_cluster=worst_cluster,
+    )

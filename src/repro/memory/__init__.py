@@ -1,0 +1,39 @@
+"""Memory substrates: GDDR5, Hybrid Memory Cube, packets, traffic accounting.
+
+The designs in the paper are distinguished almost entirely by *where*
+texture data moves and over *which* interface:
+
+* Baseline: GPU <-> GDDR5 at 128 GB/s.
+* B-PIM / S-TFIM / A-TFIM: GPU <-> HMC external serial links at 320 GB/s,
+  with 512 GB/s of aggregate internal vault bandwidth behind the logic
+  layer.
+
+This subpackage models both memory systems as resource-occupancy servers
+(see :mod:`repro.sim.resources`), defines the package formats that make
+S-TFIM lose and A-TFIM win, and provides class-tagged traffic accounting
+used to regenerate Fig. 2 and Fig. 12.
+"""
+
+from repro.memory.packets import PacketFormat, PacketSpec
+from repro.memory.dram import DramTiming, DramBank, DramDevice
+from repro.memory.gddr5 import Gddr5Config, Gddr5Memory
+from repro.memory.hmc import HmcConfig, HmcLink, HmcVault, HybridMemoryCube
+from repro.memory.multicube import MultiCubeMemory
+from repro.memory.traffic import TrafficClass, TrafficMeter
+
+__all__ = [
+    "PacketFormat",
+    "PacketSpec",
+    "DramTiming",
+    "DramBank",
+    "DramDevice",
+    "Gddr5Config",
+    "Gddr5Memory",
+    "HmcConfig",
+    "HmcLink",
+    "HmcVault",
+    "HybridMemoryCube",
+    "MultiCubeMemory",
+    "TrafficClass",
+    "TrafficMeter",
+]

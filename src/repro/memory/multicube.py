@@ -1,0 +1,99 @@
+"""Multiple HMC cubes attached to one GPU (paper section V-E).
+
+The paper notes that "under the scenario of multiple HMCs connected to
+one GPU, a parent texel fetch package from a texture unit will be mapped
+to a single HMC because the requested parent texels and their generated
+child texels access different mipmap levels of the same texture."  We
+implement exactly that placement: each texture's whole mip chain lives in
+one cube, chosen by the texture's address region, so an offloaded
+anisotropic filter never straddles cubes.
+
+:class:`MultiCubeMemory` presents the same interface as a single
+:class:`~repro.memory.hmc.HybridMemoryCube` (request/response shipping,
+internal and external reads/writes, aggregate statistics), so the design
+paths are cube-count agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memory.hmc import HmcConfig, HybridMemoryCube
+
+
+class MultiCubeMemory:
+    """``num_cubes`` HMCs behind one host interface.
+
+    Addresses route to cubes at texture-region granularity: the address
+    map places each texture in its own ``texture_stride``-sized region
+    (see :class:`~repro.texture.address.TexelAddressMap`), and regions
+    interleave across cubes, so every texture -- all its mip levels --
+    is wholly resident in one cube.
+    """
+
+    def __init__(
+        self,
+        config: HmcConfig | None = None,
+        num_cubes: int = 2,
+        region_bytes: int = 1 << 24,
+    ) -> None:
+        if num_cubes < 1:
+            raise ValueError("need at least one cube")
+        if region_bytes <= 0:
+            raise ValueError("region size must be positive")
+        self.config = config or HmcConfig()
+        self.num_cubes = num_cubes
+        self.region_bytes = region_bytes
+        self.cubes: List[HybridMemoryCube] = [
+            HybridMemoryCube(self.config) for _ in range(num_cubes)
+        ]
+
+    def cube_for(self, address: int) -> HybridMemoryCube:
+        """The cube owning ``address``'s texture region."""
+        if address < 0:
+            raise ValueError("negative address")
+        index = (address // self.region_bytes) % self.num_cubes
+        return self.cubes[index]
+
+    # -- single-cube-compatible interface ------------------------------
+
+    def send_request(self, arrival: float, address: int, nbytes: float) -> float:
+        return self.cube_for(address).send_request(arrival, address, nbytes)
+
+    def send_response(self, arrival: float, address: int, nbytes: float) -> float:
+        return self.cube_for(address).send_response(arrival, address, nbytes)
+
+    def external_read(
+        self, arrival: float, address: int, request_bytes: int, response_bytes: int
+    ) -> float:
+        return self.cube_for(address).external_read(
+            arrival, address, request_bytes, response_bytes
+        )
+
+    def external_write(self, arrival: float, address: int, nbytes: int) -> float:
+        return self.cube_for(address).external_write(arrival, address, nbytes)
+
+    def internal_read(self, arrival: float, address: int, nbytes: int) -> float:
+        return self.cube_for(address).internal_read(arrival, address, nbytes)
+
+    # -- aggregate statistics ------------------------------------------
+
+    @property
+    def external_bytes(self) -> float:
+        return sum(cube.external_bytes for cube in self.cubes)
+
+    @property
+    def internal_bytes(self) -> float:
+        return sum(cube.internal_bytes for cube in self.cubes)
+
+    @property
+    def external_reads(self) -> int:
+        return sum(cube.external_reads for cube in self.cubes)
+
+    @property
+    def internal_reads(self) -> int:
+        return sum(cube.internal_reads for cube in self.cubes)
+
+    def reset(self) -> None:
+        for cube in self.cubes:
+            cube.reset()

@@ -1,0 +1,99 @@
+"""Class-tagged off-chip traffic accounting.
+
+Fig. 2 of the paper breaks down memory bandwidth usage of 3D rendering
+into texture fetches, frame buffer, geometry, Z-test and color buffer;
+Fig. 12 tracks *texture* memory traffic across designs.  The meter tags
+every transferred byte with a :class:`TrafficClass` and distinguishes
+external (crossing the GPU<->memory interface) from internal (HMC vault)
+traffic, since the paper's "memory traffic" metric counts external bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class TrafficClass(Enum):
+    """What a memory transfer was for."""
+
+    TEXTURE = "texture"
+    FRAMEBUFFER = "framebuffer"
+    GEOMETRY = "geometry"
+    ZTEST = "ztest"
+    COLOR = "color"
+
+
+@dataclass
+class TrafficMeter:
+    """Byte counters per traffic class, split external/internal."""
+
+    external: Dict[TrafficClass, float] = field(
+        default_factory=lambda: {cls: 0.0 for cls in TrafficClass}
+    )
+    internal: Dict[TrafficClass, float] = field(
+        default_factory=lambda: {cls: 0.0 for cls in TrafficClass}
+    )
+
+    def add_external(self, traffic_class: TrafficClass, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        self.external[traffic_class] += nbytes
+
+    def add_internal(self, traffic_class: TrafficClass, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        self.internal[traffic_class] += nbytes
+
+    @property
+    def external_total(self) -> float:
+        return sum(self.external.values())
+
+    @property
+    def internal_total(self) -> float:
+        return sum(self.internal.values())
+
+    @property
+    def external_texture(self) -> float:
+        return self.external[TrafficClass.TEXTURE]
+
+    def breakdown(self) -> Dict[str, float]:
+        """External traffic share per class (fractions summing to 1).
+
+        This is exactly the quantity plotted in Fig. 2.
+        """
+        total = self.external_total
+        if total == 0:
+            return {cls.value: 0.0 for cls in TrafficClass}
+        return {cls.value: self.external[cls] / total for cls in TrafficClass}
+
+    def merge(self, other: "TrafficMeter") -> None:
+        for cls in TrafficClass:
+            self.external[cls] += other.external[cls]
+            self.internal[cls] += other.internal[cls]
+
+    def snapshot(self) -> "TrafficMeter":
+        """An independent copy of the current counters."""
+        copy = TrafficMeter()
+        copy.merge(self)
+        return copy
+
+    def since(self, earlier: "TrafficMeter") -> "TrafficMeter":
+        """The delta accumulated since an earlier snapshot.
+
+        Used by multi-frame simulation to attribute cumulative counters
+        to individual frames.
+        """
+        delta = TrafficMeter()
+        for cls in TrafficClass:
+            delta.external[cls] = self.external[cls] - earlier.external[cls]
+            delta.internal[cls] = self.internal[cls] - earlier.internal[cls]
+            if delta.external[cls] < 0 or delta.internal[cls] < 0:
+                raise ValueError("snapshot is newer than this meter")
+        return delta
+
+    def reset(self) -> None:
+        for cls in TrafficClass:
+            self.external[cls] = 0.0
+            self.internal[cls] = 0.0

@@ -1,0 +1,6 @@
+"""Image quality metrics: PSNR (the paper's metric) and SSIM."""
+
+from repro.quality.psnr import mse, psnr, PSNR_IDENTICAL_CAP
+from repro.quality.ssim import ssim
+
+__all__ = ["mse", "psnr", "ssim", "PSNR_IDENTICAL_CAP"]

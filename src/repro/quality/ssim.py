@@ -1,0 +1,63 @@
+"""Structural Similarity index.
+
+The paper argues PSNR is the more sensitive metric for high-quality
+images but cites SSIM as the common alternative; we provide it for
+completeness (global SSIM over a uniform window, single scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _to_gray(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 3:
+        # ITU-R BT.601 luma weights over the first three channels.
+        return (
+            0.299 * image[..., 0] + 0.587 * image[..., 1] + 0.114 * image[..., 2]
+        )
+    if image.ndim == 2:
+        return image
+    raise ValueError("expected a 2D grayscale or 3D color image")
+
+
+def _box_filter(image: np.ndarray, radius: int) -> np.ndarray:
+    """Mean filter via a summed-area table (reflect-free, crop-valid)."""
+    size = 2 * radius + 1
+    padded = np.pad(image, radius, mode="edge")
+    integral = np.cumsum(np.cumsum(padded, axis=0), axis=1)
+    integral = np.pad(integral, ((1, 0), (1, 0)))
+    height, width = image.shape
+    total = (
+        integral[size : size + height, size : size + width]
+        - integral[:height, size : size + width]
+        - integral[size : size + height, :width]
+        + integral[:height, :width]
+    )
+    return total / (size * size)
+
+
+def ssim(
+    reference: np.ndarray,
+    candidate: np.ndarray,
+    peak: float = 1.0,
+    radius: int = 3,
+) -> float:
+    """Mean SSIM between two images with values in [0, peak]."""
+    gray_ref = _to_gray(reference)
+    gray_can = _to_gray(candidate)
+    if gray_ref.shape != gray_can.shape:
+        raise ValueError("shape mismatch")
+    if min(gray_ref.shape) < 2 * radius + 1:
+        raise ValueError("image smaller than the SSIM window")
+    c1 = (0.01 * peak) ** 2
+    c2 = (0.03 * peak) ** 2
+    mu_x = _box_filter(gray_ref, radius)
+    mu_y = _box_filter(gray_can, radius)
+    sigma_x = _box_filter(gray_ref * gray_ref, radius) - mu_x * mu_x
+    sigma_y = _box_filter(gray_can * gray_can, radius) - mu_y * mu_y
+    sigma_xy = _box_filter(gray_ref * gray_can, radius) - mu_x * mu_y
+    numerator = (2 * mu_x * mu_y + c1) * (2 * sigma_xy + c2)
+    denominator = (mu_x * mu_x + mu_y * mu_y + c1) * (sigma_x + sigma_y + c2)
+    return float(np.mean(numerator / denominator))

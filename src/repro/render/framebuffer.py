@@ -1,0 +1,57 @@
+"""Z-buffered RGBA framebuffer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Framebuffer:
+    """An RGBA color buffer with a depth buffer.
+
+    Depth follows the convention smaller-is-closer (camera-space depth is
+    stored directly); the depth test is strict less-than, matching the
+    early-Z behaviour of the modelled pipeline.
+    """
+
+    width: int
+    height: int
+    color: np.ndarray = field(init=False)
+    depth: np.ndarray = field(init=False)
+    depth_tests: int = field(default=0, init=False)
+    depth_passes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("framebuffer dimensions must be positive")
+        self.color = np.zeros((self.height, self.width, 4), dtype=np.float64)
+        self.depth = np.full((self.height, self.width), np.inf)
+
+    def depth_test(self, x: int, y: int, z: float) -> bool:
+        """Early-Z test: True when the fragment is visible so far."""
+        self.depth_tests += 1
+        if z < self.depth[y, x]:
+            self.depth_passes += 1
+            return True
+        return False
+
+    def write(self, x: int, y: int, z: float, color: np.ndarray) -> None:
+        """Unconditionally commit a fragment that passed the depth test."""
+        self.depth[y, x] = z
+        self.color[y, x] = color
+
+    def clear(self) -> None:
+        self.color.fill(0.0)
+        self.depth.fill(np.inf)
+        self.depth_tests = 0
+        self.depth_passes = 0
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+    def rgb_image(self) -> np.ndarray:
+        """The RGB channels as float64 (h, w, 3)."""
+        return self.color[:, :, :3]

@@ -1,0 +1,186 @@
+"""Set-associative texture caches with optional camera-angle tags.
+
+Table I: each cluster has a 16 KB, 16-way L1 texture cache; a 128 KB,
+16-way L2 texture cache is shared.  Lines are 64 bytes.
+
+For A-TFIM, each line additionally stores one camera angle (7 bits,
+section VII-E).  A lookup then carries the requesting pixel's camera
+angle: a tag match whose stored angle differs by more than the configured
+threshold is treated as a miss ("recalculation"), which is the paper's
+performance/quality knob (section V-C).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.texture.lod import quantize_angle
+
+
+class CacheAccessResult(Enum):
+    """Outcome of a cache lookup."""
+
+    HIT = "hit"
+    MISS = "miss"
+    ANGLE_MISS = "angle_miss"
+    """Tag matched but the stored camera angle differed by more than the
+    threshold: the line must be recalculated in the HMC (A-TFIM only)."""
+
+    @property
+    def is_hit(self) -> bool:
+        return self is CacheAccessResult.HIT
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one texture cache."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 16
+    angle_bits: int = 7
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError("size must be a whole number of sets")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    @property
+    def angle_storage_bytes(self) -> float:
+        """Extra storage for per-line camera angles (section VII-E)."""
+        return self.num_lines * self.angle_bits / 8.0
+
+
+L1_TEXTURE_CACHE = CacheConfig(size_bytes=16 * 1024)
+L2_TEXTURE_CACHE = CacheConfig(size_bytes=128 * 1024)
+
+
+@dataclass
+class _Line:
+    tag: int
+    angle: Optional[float] = None
+
+
+class TextureCache:
+    """An LRU set-associative cache over byte addresses.
+
+    The cache is *timeless*: it tracks contents and hit/miss outcomes,
+    while timing is supplied by the resource servers in the cycle model.
+    This separation keeps the cache reusable by both the functional
+    renderer (for the quality study) and the performance model.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "texcache") -> None:
+        self.config = config
+        self.name = name
+        # One ordered dict per set: key = tag, order = LRU (oldest first).
+        self._sets: Dict[int, "OrderedDict[int, _Line]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.angle_misses = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_index = address // self.config.line_bytes
+        set_index = line_index % self.config.num_sets
+        tag = line_index // self.config.num_sets
+        return set_index, tag
+
+    def lookup(
+        self,
+        address: int,
+        angle: Optional[float] = None,
+        angle_threshold: Optional[float] = None,
+    ) -> CacheAccessResult:
+        """Access the line containing ``address``; fill on miss.
+
+        Without angle arguments this is an ordinary cache access.  With
+        both ``angle`` and ``angle_threshold`` given, a tag hit whose
+        stored (quantised) angle differs from the request's quantised
+        angle by more than the threshold counts as
+        :attr:`CacheAccessResult.ANGLE_MISS`; the line is refilled with
+        the new angle (the recalculated parent texel replaces the stale
+        one, per section V-C).
+        """
+        if address < 0:
+            raise ValueError("negative address")
+        set_index, tag = self._locate(address)
+        cache_set = self._sets.setdefault(set_index, OrderedDict())
+        stored_angle = self._quantized(angle)
+
+        line = cache_set.get(tag)
+        if line is not None:
+            if angle is not None and angle_threshold is not None:
+                if line.angle is None or abs(line.angle - stored_angle) > angle_threshold:
+                    line.angle = stored_angle
+                    cache_set.move_to_end(tag)
+                    self.angle_misses += 1
+                    return CacheAccessResult.ANGLE_MISS
+            cache_set.move_to_end(tag)
+            self.hits += 1
+            return CacheAccessResult.HIT
+
+        self._fill(cache_set, tag, stored_angle)
+        self.misses += 1
+        return CacheAccessResult.MISS
+
+    def _quantized(self, angle: Optional[float]) -> Optional[float]:
+        if angle is None:
+            return None
+        return quantize_angle(angle, self.config.angle_bits)
+
+    def _fill(
+        self, cache_set: "OrderedDict[int, _Line]", tag: int, angle: Optional[float]
+    ) -> None:
+        if len(cache_set) >= self.config.associativity:
+            cache_set.popitem(last=False)  # evict LRU
+        cache_set[tag] = _Line(tag=tag, angle=angle)
+
+    def contains(self, address: int) -> bool:
+        """Presence probe that does not disturb LRU state or counters."""
+        set_index, tag = self._locate(address)
+        cache_set = self._sets.get(set_index)
+        return cache_set is not None and tag in cache_set
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.angle_misses
+
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return (self.misses + self.angle_misses) / self.accesses
+
+    def reset(self) -> None:
+        self._sets.clear()
+        self.hits = 0
+        self.misses = 0
+        self.angle_misses = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss statistics but keep the cached contents.
+
+        Used by the warm-up protocol: the first replay of a frame warms
+        the caches (amortising compulsory misses exactly as a long-running
+        game does), and only the second, warm replay is measured.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.angle_misses = 0

@@ -1,0 +1,122 @@
+"""Fixed-rate lossy texture compression (paper section VIII).
+
+The paper lists texture compression (ASTC and friends) as the orthogonal,
+commonly deployed way to cut texture traffic.  To let the reproduction
+quantify "A-TFIM x compression", this module implements a real BC1-style
+fixed-rate block codec:
+
+* texels are encoded in 4x4 blocks;
+* each block stores two endpoint colors and a 2-bit index per texel that
+  selects one of four points on the line between the endpoints;
+* every block compresses to the same size, so the traffic model is a
+  simple fixed ratio (4:1 against RGBA8: a 64-byte block becomes 16).
+
+The codec is *actually lossy*: encoding and decoding a texture produces
+a measurably different image, so the quality cost of compression is as
+real as A-TFIM's angle-threshold cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+BLOCK = 4
+BLOCK_TEXELS = BLOCK * BLOCK
+UNCOMPRESSED_BLOCK_BYTES = BLOCK_TEXELS * 4   # RGBA8
+COMPRESSED_BLOCK_BYTES = 16                   # 2 endpoints + 16 x 2-bit
+COMPRESSION_RATIO = UNCOMPRESSED_BLOCK_BYTES / COMPRESSED_BLOCK_BYTES
+NUM_INDEX_LEVELS = 4
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Size accounting for one compressed texture."""
+
+    uncompressed_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        return self.uncompressed_bytes / self.compressed_bytes
+
+
+def _block_view(image: np.ndarray) -> np.ndarray:
+    """Reshape (h, w, 4) into (hb, wb, BLOCK, BLOCK, 4) blocks."""
+    height, width = image.shape[:2]
+    if height % BLOCK or width % BLOCK:
+        raise ValueError(f"dimensions must be multiples of {BLOCK}")
+    blocked = image.reshape(
+        height // BLOCK, BLOCK, width // BLOCK, BLOCK, image.shape[2]
+    )
+    return blocked.swapaxes(1, 2)
+
+
+def encode_block(block: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Encode one 4x4 RGBA block; return (low, high, indices).
+
+    Endpoints are the block's luminance extremes; indices quantise each
+    texel's projection onto the endpoint line into four levels.
+    """
+    if block.shape != (BLOCK, BLOCK, 4):
+        raise ValueError("expected a 4x4 RGBA block")
+    flat = block.reshape(BLOCK_TEXELS, 4)
+    luma = flat[:, :3] @ np.array([0.299, 0.587, 0.114])
+    low = flat[int(np.argmin(luma))]
+    high = flat[int(np.argmax(luma))]
+    direction = high - low
+    length_sq = float(direction @ direction)
+    if length_sq < 1e-12:
+        indices = np.zeros(BLOCK_TEXELS, dtype=np.uint8)
+        return low.copy(), high.copy(), indices
+    projection = (flat - low) @ direction / length_sq
+    indices = np.clip(
+        np.round(projection * (NUM_INDEX_LEVELS - 1)), 0, NUM_INDEX_LEVELS - 1
+    ).astype(np.uint8)
+    return low.copy(), high.copy(), indices
+
+
+def decode_block(
+    low: np.ndarray, high: np.ndarray, indices: np.ndarray
+) -> np.ndarray:
+    """Reconstruct a 4x4 RGBA block from its encoding."""
+    if indices.shape != (BLOCK_TEXELS,):
+        raise ValueError("expected 16 indices")
+    weights = indices.astype(np.float64) / (NUM_INDEX_LEVELS - 1)
+    flat = low[None, :] * (1.0 - weights[:, None]) + high[None, :] * weights[:, None]
+    return flat.reshape(BLOCK, BLOCK, 4)
+
+
+def compress_image(image: np.ndarray) -> tuple[np.ndarray, CompressionStats]:
+    """Round-trip an RGBA image through the codec.
+
+    Returns the lossy reconstruction plus size statistics -- the
+    reconstruction is what a GPU sampling compressed textures filters.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 4:
+        raise ValueError("expected an (h, w, 4) image")
+    blocks = _block_view(image)
+    output_blocks = np.empty_like(blocks)
+    for by in range(blocks.shape[0]):
+        for bx in range(blocks.shape[1]):
+            low, high, indices = encode_block(blocks[by, bx])
+            output_blocks[by, bx] = decode_block(low, high, indices)
+    height, width = image.shape[:2]
+    reconstructed = output_blocks.swapaxes(1, 2).reshape(height, width, 4)
+    reconstructed = np.clip(reconstructed, 0.0, 1.0)
+    num_blocks = (height // BLOCK) * (width // BLOCK)
+    stats = CompressionStats(
+        uncompressed_bytes=num_blocks * UNCOMPRESSED_BLOCK_BYTES,
+        compressed_bytes=num_blocks * COMPRESSED_BLOCK_BYTES,
+    )
+    return reconstructed, stats
+
+
+def compressed_line_bytes(line_bytes: int = 64) -> float:
+    """Bytes a cache-line's worth of texels costs over the bus when the
+    texture is stored compressed (fixed-rate, so a constant fraction)."""
+    if line_bytes <= 0:
+        raise ValueError("line size must be positive")
+    return line_bytes / COMPRESSION_RATIO

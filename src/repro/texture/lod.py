@@ -1,0 +1,151 @@
+"""Screen-space derivatives -> mip LOD, anisotropy and camera angle.
+
+The rasterizer supplies each fragment with the derivatives of its texture
+coordinates with respect to screen x and y (du/dx, dv/dx, du/dy, dv/dy),
+in *texel* units of mip level 0.  From these we derive:
+
+* the anisotropy ratio and direction (how stretched the pixel's footprint
+  is in texture space -- the quantity anisotropic filtering exists for);
+* the mip level-of-detail at which trilinear filtering samples;
+* the pixel's *camera angle*: the angle between the surface normal and
+  the view vector, which the paper uses both to determine the anisotropy
+  and as the reuse criterion for A-TFIM's angle-threshold cache policy.
+
+The math follows the standard EWA-style axis estimation used by hardware
+anisotropic filtering (Mavridis & Papaioannou, the paper's [31]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SampleFootprint:
+    """The filtering footprint of one fragment in texture space."""
+
+    lod: float
+    """Mip level-of-detail used by the trilinear stage (anisotropic
+    adjusted: computed from the *minor* axis so the higher-resolution mip
+    is sampled along the major axis)."""
+
+    anisotropy: float
+    """Ratio of major to minor footprint axis, clamped to the hardware
+    maximum (>= 1)."""
+
+    probes: int
+    """Number of anisotropic probes the hardware takes along the major
+    axis (power-of-two level of anisotropy, e.g. 1, 2, 4, 8, 16)."""
+
+    major_du: float
+    major_dv: float
+    """Unit direction (in level-0 texel units) of the major footprint
+    axis, along which anisotropic probes are spread."""
+
+    major_length: float = 0.0
+    """Length of the major footprint axis in level-0 texel units."""
+
+    @property
+    def is_isotropic(self) -> bool:
+        return self.probes == 1
+
+
+def _next_power_of_two(value: float) -> int:
+    """Smallest power of two >= value (minimum 1)."""
+    if value <= 1.0:
+        return 1
+    return 1 << math.ceil(math.log2(value))
+
+
+def compute_footprint(
+    dudx: float,
+    dvdx: float,
+    dudy: float,
+    dvdy: float,
+    max_anisotropy: int = 16,
+    lod_bias: float = 0.0,
+) -> SampleFootprint:
+    """Derive the sampling footprint from texture-coordinate derivatives.
+
+    ``lod_bias`` implements the scaled-resolution substitution described
+    in DESIGN.md: rendering at 1/s linear scale multiplies the derivatives
+    by s, and a bias of -log2(s) restores full-resolution mip selection.
+    """
+    if max_anisotropy < 1:
+        raise ValueError("max anisotropy must be >= 1")
+    length_x = math.hypot(dudx, dvdx)
+    length_y = math.hypot(dudy, dvdy)
+    major = max(length_x, length_y)
+    minor = min(length_x, length_y)
+    tiny = 1e-12
+    if major < tiny:
+        # Degenerate footprint (e.g. texture sampled at a single point):
+        # sample the base level isotropically.
+        return SampleFootprint(
+            lod=max(0.0, lod_bias),
+            anisotropy=1.0,
+            probes=1,
+            major_du=0.0,
+            major_dv=0.0,
+            major_length=0.0,
+        )
+    minor = max(minor, tiny)
+    anisotropy = min(major / minor, float(max_anisotropy))
+    probes = _next_power_of_two(anisotropy)
+    probes = min(probes, max_anisotropy)
+    # LOD from the minor axis: the anisotropic filter compensates along
+    # the major axis with multiple probes, so the mip level only needs to
+    # match the footprint's narrow direction.
+    effective_minor = major / anisotropy
+    lod = math.log2(max(effective_minor, tiny)) + lod_bias
+    lod = max(0.0, lod)
+    if length_x >= length_y:
+        axis_u, axis_v, axis_len = dudx, dvdx, length_x
+    else:
+        axis_u, axis_v, axis_len = dudy, dvdy, length_y
+    scale = 2.0 ** lod_bias
+    return SampleFootprint(
+        lod=lod,
+        anisotropy=anisotropy,
+        probes=probes,
+        major_du=axis_u / axis_len,
+        major_dv=axis_v / axis_len,
+        major_length=major * scale,
+    )
+
+
+def camera_angle_from_normal(nx: float, ny: float, nz: float,
+                             vx: float, vy: float, vz: float) -> float:
+    """Angle in radians between a surface normal and the view vector.
+
+    0 means the surface faces the camera head-on (isotropic footprint);
+    angles approaching pi/2 are grazing views, where anisotropic filtering
+    matters most.  The paper stores this angle (quantised to 7 bits) in
+    texture cache lines for the A-TFIM reuse test.
+    """
+    norm_n = math.sqrt(nx * nx + ny * ny + nz * nz)
+    norm_v = math.sqrt(vx * vx + vy * vy + vz * vz)
+    if norm_n == 0.0 or norm_v == 0.0:
+        raise ValueError("zero-length vector")
+    cosine = (nx * vx + ny * vy + nz * vz) / (norm_n * norm_v)
+    cosine = min(1.0, max(-1.0, cosine))
+    angle = math.acos(abs(cosine))
+    return angle
+
+
+def quantize_angle(angle: float, bits: int = 7) -> float:
+    """Quantise an angle in [0, pi/2] to ``bits`` bits, as the cache does.
+
+    Section VII-E: 7 bits per cache line record the camera angle with ~1
+    degree accuracy (180/2^7).
+    """
+    if bits <= 0:
+        raise ValueError("bit count must be positive")
+    if angle < 0:
+        raise ValueError("angle must be non-negative")
+    levels = (1 << bits) - 1
+    half_pi = math.pi / 2.0
+    clamped = min(angle, half_pi)
+    step = half_pi / levels
+    return round(clamped / step) * step

@@ -1,0 +1,109 @@
+"""Fragment-trace serialization.
+
+Rasterizing a workload is the front half of every experiment; saving the
+resulting :class:`~repro.texture.requests.FragmentTrace` lets a captured
+trace be replayed later (or elsewhere) without the renderer -- the same
+role ATTILA's captured game traces play for the paper.
+
+Traces serialize to a single ``.npz`` file: one array per request field
+(compact, fast, dependency-free) plus frame metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.texture.lod import SampleFootprint
+from repro.texture.requests import FragmentTrace, TextureRequest
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: FragmentTrace, path: Union[str, Path]) -> Path:
+    """Write a trace to ``path`` (.npz).  Returns the resolved path."""
+    requests = trace.requests
+    count = len(requests)
+
+    def field(name: str, dtype) -> np.ndarray:
+        return np.fromiter(
+            (getattr(request, name) for request in requests),
+            dtype=dtype,
+            count=count,
+        )
+
+    footprint_fields = {}
+    for name, dtype in (
+        ("lod", np.float64),
+        ("anisotropy", np.float64),
+        ("probes", np.int32),
+        ("major_du", np.float64),
+        ("major_dv", np.float64),
+        ("major_length", np.float64),
+    ):
+        footprint_fields[f"fp_{name}"] = np.fromiter(
+            (getattr(request.footprint, name) for request in requests),
+            dtype=dtype,
+            count=count,
+        )
+
+    output = Path(path)
+    np.savez_compressed(
+        output,
+        version=np.array([_FORMAT_VERSION]),
+        frame=np.array([trace.width, trace.height, trace.tile_size]),
+        pixel_x=field("pixel_x", np.int32),
+        pixel_y=field("pixel_y", np.int32),
+        texture_id=field("texture_id", np.int32),
+        u=field("u", np.float64),
+        v=field("v", np.float64),
+        camera_angle=field("camera_angle", np.float64),
+        tile_x=field("tile_x", np.int32),
+        tile_y=field("tile_y", np.int32),
+        **footprint_fields,
+    )
+    # np.savez appends .npz if missing; normalise the returned path.
+    if output.suffix != ".npz":
+        output = output.with_suffix(output.suffix + ".npz")
+    return output
+
+
+def load_trace(path: Union[str, Path]) -> FragmentTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        width, height, tile_size = (int(value) for value in data["frame"])
+        count = len(data["u"])
+        requests: List[TextureRequest] = []
+        for index in range(count):
+            footprint = SampleFootprint(
+                lod=float(data["fp_lod"][index]),
+                anisotropy=float(data["fp_anisotropy"][index]),
+                probes=int(data["fp_probes"][index]),
+                major_du=float(data["fp_major_du"][index]),
+                major_dv=float(data["fp_major_dv"][index]),
+                major_length=float(data["fp_major_length"][index]),
+            )
+            requests.append(
+                TextureRequest(
+                    pixel_x=int(data["pixel_x"][index]),
+                    pixel_y=int(data["pixel_y"][index]),
+                    texture_id=int(data["texture_id"][index]),
+                    u=float(data["u"][index]),
+                    v=float(data["v"][index]),
+                    footprint=footprint,
+                    camera_angle=float(data["camera_angle"][index]),
+                    tile_x=int(data["tile_x"][index]),
+                    tile_y=int(data["tile_y"][index]),
+                )
+            )
+    return FragmentTrace(
+        width=width, height=height, requests=requests, tile_size=tile_size
+    )

@@ -1,0 +1,40 @@
+"""Game-parameterised workloads (Table II substitution).
+
+The paper renders ATTILA traces captured from five commercial games; we
+cannot redistribute those, so each game is replaced by a procedurally
+generated scene whose *texture-access character* -- anisotropy
+distribution, texture sizes, overdraw, indoor/outdoor mix -- is styled
+after the game (see DESIGN.md section 2 for why this preserves the
+paper's conclusions).  Every workload is deterministic (seeded).
+"""
+
+from repro.workloads.games import (
+    GameWorkload,
+    WORKLOADS,
+    workload_by_name,
+    workload_names,
+)
+from repro.workloads.textures import ProceduralTextureLibrary
+from repro.workloads.scenes import SceneStyle, build_scene
+from repro.workloads.animation import (
+    CameraKeyframe,
+    CameraPath,
+    orbit,
+    strafe,
+    walk_forward,
+)
+
+__all__ = [
+    "GameWorkload",
+    "WORKLOADS",
+    "workload_by_name",
+    "workload_names",
+    "ProceduralTextureLibrary",
+    "SceneStyle",
+    "build_scene",
+    "CameraKeyframe",
+    "CameraPath",
+    "walk_forward",
+    "strafe",
+    "orbit",
+]

@@ -1,0 +1,52 @@
+"""Tests for the camera-angle threshold definitions."""
+
+import math
+
+import pytest
+
+from repro.core.angle import (
+    DEFAULT_THRESHOLD,
+    THRESHOLD_001PI,
+    THRESHOLD_005PI,
+    THRESHOLD_0005PI,
+    THRESHOLD_NO_RECALC,
+    THRESHOLD_SWEEP,
+    AngleThreshold,
+)
+
+
+class TestAngleThreshold:
+    def test_default_is_001pi(self):
+        assert DEFAULT_THRESHOLD is THRESHOLD_001PI
+        assert DEFAULT_THRESHOLD.radians == pytest.approx(0.01 * math.pi)
+        # The paper calls this 1.8 degrees.
+        assert DEFAULT_THRESHOLD.degrees == pytest.approx(1.8)
+
+    def test_0005pi_is_09_degrees(self):
+        assert THRESHOLD_0005PI.degrees == pytest.approx(0.9)
+
+    def test_005pi_is_9_degrees(self):
+        assert THRESHOLD_005PI.degrees == pytest.approx(9.0)
+
+    def test_no_recalc_has_no_finite_threshold(self):
+        assert THRESHOLD_NO_RECALC.radians is None
+        assert THRESHOLD_NO_RECALC.degrees is None
+        assert THRESHOLD_NO_RECALC.effective_radians == math.pi
+
+    def test_sweep_ordered_strictest_first(self):
+        values = [threshold.effective_radians for threshold in THRESHOLD_SWEEP]
+        assert values == sorted(values)
+        assert len(THRESHOLD_SWEEP) == 5
+
+    def test_labels_match_paper(self):
+        labels = [threshold.label for threshold in THRESHOLD_SWEEP]
+        assert labels == [
+            "A-TFIM-0005pi",
+            "A-TFIM-001pi",
+            "A-TFIM-005pi",
+            "A-TFIM-01pi",
+            "A-TFIM-no",
+        ]
+
+    def test_str(self):
+        assert str(THRESHOLD_001PI) == "A-TFIM-001pi"

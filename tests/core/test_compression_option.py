@@ -1,0 +1,74 @@
+"""Tests for the texture-compression design option (section VIII)."""
+
+import pytest
+
+from repro.core import Design, simulate_frame
+
+
+class TestCompressionOption:
+    @pytest.fixture(scope="class")
+    def pair(self, fast_workload, fast_workload_trace):
+        scene, trace = fast_workload_trace
+        plain = simulate_frame(
+            scene, trace,
+            fast_workload.design_config(Design.BASELINE),
+        )
+        compressed = simulate_frame(
+            scene, trace,
+            fast_workload.design_config(
+                Design.BASELINE, texture_compression=True
+            ),
+        )
+        return plain, compressed
+
+    def test_compression_cuts_texture_traffic(self, pair):
+        plain, compressed = pair
+        assert compressed.frame.traffic.external_texture < (
+            plain.frame.traffic.external_texture
+        )
+
+    def test_compression_never_slows_the_frame(self, pair):
+        plain, compressed = pair
+        assert compressed.frame.frame_cycles <= plain.frame.frame_cycles * 1.02
+
+    def test_compression_orthogonal_to_atfim(self, fast_workload,
+                                             fast_workload_trace):
+        """Section VIII: 'our work is orthogonal to these texture
+        compression techniques' -- the two combine.  A-TFIM's external
+        traffic is offload-package-dominated (packages carry coordinates
+        and filtered values, not raw texels), so compression shows up in
+        the *internal* child-texel fetches.
+        """
+        scene, trace = fast_workload_trace
+        atfim = simulate_frame(
+            scene, trace, fast_workload.design_config(Design.A_TFIM)
+        )
+        both = simulate_frame(
+            scene, trace,
+            fast_workload.design_config(Design.A_TFIM, texture_compression=True),
+        )
+        assert both.frame.traffic.internal_total < 0.5 * (
+            atfim.frame.traffic.internal_total
+        )
+        assert both.frame.traffic.external_texture == pytest.approx(
+            atfim.frame.traffic.external_texture, rel=0.02
+        )
+
+    def test_compression_affects_stfim_internal_traffic(self, fast_workload,
+                                                        fast_workload_trace):
+        scene, trace = fast_workload_trace
+        plain = simulate_frame(
+            scene, trace, fast_workload.design_config(Design.S_TFIM)
+        )
+        compressed = simulate_frame(
+            scene, trace,
+            fast_workload.design_config(Design.S_TFIM, texture_compression=True),
+        )
+        assert compressed.frame.traffic.internal_total < (
+            plain.frame.traffic.internal_total
+        )
+        # The live-texture packages themselves are not compressible:
+        # external S-TFIM traffic is package-dominated and stays put.
+        assert compressed.frame.traffic.external_texture == pytest.approx(
+            plain.frame.traffic.external_texture
+        )

@@ -1,0 +1,101 @@
+"""Tests for request expansion -- and its agreement with the functional
+sampler, which ties the cycle model's texel counts to the renderer's."""
+
+import numpy as np
+import pytest
+
+from repro.core.expansion import RequestExpander
+from repro.render.scene import Scene
+from repro.texture.lod import compute_footprint
+from repro.texture.requests import TextureRequest
+from repro.texture.sampling import TextureSampler
+from repro.workloads.textures import ProceduralTextureLibrary
+
+
+@pytest.fixture(scope="module")
+def scene():
+    scene = Scene()
+    library = ProceduralTextureLibrary()
+    scene.add_texture(library.create("checker", 64, seed=1))
+    return scene
+
+
+def make_request(u=20.0, v=20.0, probes=4, lod=1.5):
+    minor = 2.0 ** lod
+    footprint = compute_footprint(minor * probes, 0.0, 0.0, minor)
+    return TextureRequest(
+        pixel_x=0, pixel_y=0, texture_id=0, u=u, v=v,
+        footprint=footprint, camera_angle=0.4,
+    )
+
+
+class TestExpansion:
+    def test_conventional_texel_count(self, scene):
+        expander = RequestExpander(scene)
+        expanded = expander.expand(make_request(probes=4, lod=1.5))
+        # 4 probes x (4 + 4) trilinear taps.
+        assert expanded.num_conventional_texels == 32
+
+    def test_parent_count_two_levels(self, scene):
+        expander = RequestExpander(scene)
+        expanded = expander.expand(make_request(lod=1.5))
+        assert expanded.num_parent_texels == 8
+
+    def test_parent_count_single_level(self, scene):
+        expander = RequestExpander(scene)
+        expanded = expander.expand(make_request(probes=1, lod=0.0))
+        assert expanded.num_parent_texels == 4
+
+    def test_children_per_parent_equal_probes(self, scene):
+        expander = RequestExpander(scene)
+        expanded = expander.expand(make_request(probes=4))
+        for parent in expanded.parents:
+            assert parent.num_children == 4
+        assert expanded.total_child_texels == 32
+
+    def test_unique_child_lines_deduplicated(self, scene):
+        expander = RequestExpander(scene)
+        expanded = expander.expand(make_request(probes=8))
+        raw = sum(len(p.child_line_addresses) for p in expanded.parents)
+        assert len(expanded.unique_child_lines) <= raw
+
+    def test_lines_are_aligned(self, scene):
+        expander = RequestExpander(scene)
+        expanded = expander.expand(make_request())
+        for line in expanded.conventional_lines:
+            assert line % 64 == 0
+        for parent in expanded.parents:
+            assert parent.line_address % 64 == 0
+
+    def test_matches_functional_sampler_lines(self, scene):
+        """Cross-validation: the architectural expansion touches exactly
+        the texels the functional sampler reads."""
+        expander = RequestExpander(scene)
+        chain = scene.mipmap_chain(0)
+        sampler = TextureSampler(chain)
+        for probes, lod, u, v in [(1, 0.0, 5.0, 5.0), (4, 1.5, 20.0, 11.0),
+                                  (8, 2.3, 40.0, 33.0)]:
+            request = make_request(u=u, v=v, probes=probes, lod=lod)
+            expanded = expander.expand(request)
+            result = sampler.sample(request.footprint, u, v, record=True)
+            functional_lines = {
+                expander.address_map.texel_line(chain, level, x, y)
+                for level, x, y in result.texels
+            }
+            assert functional_lines == set(expanded.conventional_lines)
+
+    def test_isotropic_expansion_collapses(self, scene):
+        expander = RequestExpander(scene)
+        request = make_request(probes=8, lod=1.5)
+        expanded = expander.expand_isotropic(request)
+        # Anisotropy disabled: only the 8 trilinear taps remain.
+        assert expanded.num_conventional_texels == 8
+        for parent in expanded.parents:
+            assert parent.num_children == 1
+
+    def test_isotropic_fewer_texels_than_full(self, scene):
+        expander = RequestExpander(scene)
+        request = make_request(probes=8)
+        full = expander.expand(request)
+        isotropic = expander.expand_isotropic(request)
+        assert isotropic.num_conventional_texels < full.num_conventional_texels

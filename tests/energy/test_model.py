@@ -1,0 +1,86 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.core import Design
+from repro.energy import EnergyModel, EnergyParams
+
+
+class TestEnergyParams:
+    def test_paper_constants(self):
+        params = EnergyParams()
+        assert params.link_pj_per_bit == 5.0   # Denali report figure
+        assert params.hmc_dram_pj_per_bit == 4.0
+        assert params.leakage_fraction == 0.10  # Lim et al. strategy
+
+    def test_gddr5_more_expensive_per_bit_than_hmc(self):
+        params = EnergyParams()
+        assert params.gddr5_pj_per_bit > params.hmc_dram_pj_per_bit
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyParams(link_pj_per_bit=-1.0)
+        with pytest.raises(ValueError):
+            EnergyParams(leakage_fraction=1.5)
+
+
+class TestFrameEnergy:
+    def test_breakdown_total_is_sum(self, design_runs):
+        model = EnergyModel()
+        breakdown = model.frame_energy(
+            Design.BASELINE, design_runs[Design.BASELINE].frame
+        )
+        parts = breakdown.as_dict()
+        total = parts.pop("total")
+        assert total == pytest.approx(sum(parts.values()))
+
+    def test_all_components_non_negative(self, design_runs):
+        model = EnergyModel()
+        for design, run in design_runs.items():
+            breakdown = model.frame_energy(design, run.frame)
+            for name, value in breakdown.as_dict().items():
+                assert value >= 0.0, name
+
+    def test_baseline_uses_gddr5_energy_not_links(self, design_runs):
+        model = EnergyModel()
+        breakdown = model.frame_energy(
+            Design.BASELINE, design_runs[Design.BASELINE].frame
+        )
+        assert breakdown.memory_interface == 0.0
+        assert breakdown.dram > 0.0
+
+    def test_pim_designs_pay_link_energy(self, design_runs):
+        model = EnergyModel()
+        for design in (Design.B_PIM, Design.S_TFIM, Design.A_TFIM):
+            breakdown = model.frame_energy(design, design_runs[design].frame)
+            assert breakdown.memory_interface > 0.0
+
+    def test_in_memory_designs_have_memory_texture_energy(self, design_runs):
+        model = EnergyModel()
+        stfim = model.frame_energy(Design.S_TFIM, design_runs[Design.S_TFIM].frame)
+        baseline = model.frame_energy(
+            Design.BASELINE, design_runs[Design.BASELINE].frame
+        )
+        assert stfim.texture_units_memory > 0.0
+        assert baseline.texture_units_memory == 0.0
+
+    def test_paper_fig13_orderings(self, design_runs):
+        """A-TFIM < B-PIM < baseline; S-TFIM > B-PIM (Fig. 13)."""
+        model = EnergyModel()
+        totals = {
+            design: model.frame_energy(design, run.frame).total
+            for design, run in design_runs.items()
+        }
+        assert totals[Design.A_TFIM] < totals[Design.BASELINE]
+        assert totals[Design.B_PIM] < totals[Design.BASELINE]
+        assert totals[Design.A_TFIM] < totals[Design.B_PIM]
+        assert totals[Design.S_TFIM] > totals[Design.B_PIM]
+
+    def test_static_energy_scales_with_runtime(self, design_runs):
+        model = EnergyModel()
+        slow = design_runs[Design.S_TFIM].frame
+        fast = design_runs[Design.A_TFIM].frame
+        assert slow.frame_cycles > fast.frame_cycles
+        slow_static = model.frame_energy(Design.S_TFIM, slow).static
+        fast_static = model.frame_energy(Design.A_TFIM, fast).static
+        assert slow_static > fast_static

@@ -1,0 +1,137 @@
+"""Tests for the per-figure experiment modules (fast workload subset)."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig02,
+    fig04,
+    fig05,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    overhead_analysis,
+    tables,
+)
+from repro.experiments.runner import ExperimentRunner
+
+SUBSET = ["doom3-640x480", "riddick-640x480"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(SUBSET)
+
+
+class TestFig02:
+    def test_shares_sum_to_one(self, runner):
+        data = fig02.run(runner)
+        for row in data.rows:
+            assert sum(row.values.values()) == pytest.approx(1.0)
+
+    def test_texture_is_dominant(self, runner):
+        data = fig02.run(runner)
+        for row in data.rows:
+            assert row.get("texture") == max(row.values.values())
+
+
+class TestFig04:
+    def test_disabling_aniso_speeds_up_and_saves_traffic(self, runner):
+        data = fig04.run(runner)
+        for row in data.rows:
+            assert row.get("texture_speedup") >= 1.0
+            assert row.get("normalized_traffic") <= 1.0
+
+
+class TestFig05:
+    def test_bpim_positive(self, runner):
+        data = fig05.run(runner)
+        for row in data.rows:
+            assert row.get("render_speedup") > 1.0
+
+
+class TestFig10:
+    def test_atfim_wins_texture(self, runner):
+        data = fig10.run(runner)
+        for row in data.rows:
+            assert row.get("a_tfim_001pi") > row.get("s_tfim")
+            assert row.get("baseline") == 1.0
+
+
+class TestFig11:
+    def test_atfim_wins_render(self, runner):
+        data = fig11.run(runner)
+        for row in data.rows:
+            assert row.get("a_tfim_001pi") > max(
+                row.get("b_pim"), row.get("s_tfim"), 1.0
+            )
+
+
+class TestFig12:
+    def test_stfim_traffic_inflated(self, runner):
+        data = fig12.run(runner)
+        for row in data.rows:
+            assert row.get("s_tfim") > 1.5
+            assert row.get("a_tfim_005pi") <= row.get("a_tfim_001pi")
+
+
+class TestFig13:
+    def test_atfim_saves_energy(self, runner):
+        data = fig13.run(runner)
+        for row in data.rows:
+            assert row.get("a_tfim_001pi") < 1.0
+
+
+class TestFig14:
+    def test_speedup_monotone_across_thresholds(self, runner):
+        data = fig14.run(runner)
+        for row in data.rows:
+            values = [row.values[column] for column in data.columns]
+            for tighter, looser in zip(values, values[1:]):
+                assert looser >= tighter - 1e-9
+
+
+class TestOverhead:
+    def test_reports_paper_numbers(self):
+        data = overhead_analysis.run()
+        assert data.row("parent_buffer_kb").get("value") == pytest.approx(
+            1.41, abs=0.01
+        )
+        assert data.row("hmc_area_fraction").get("value") == pytest.approx(
+            0.0318, abs=0.001
+        )
+
+
+class TestTables:
+    def test_table1_contains_key_parameters(self):
+        text = tables.format_table1()
+        assert "16" in text
+        assert "320 GB/s" in text
+        assert "512 GB/s" in text
+        assert "128 GB/s" in text
+
+    def test_table2_lists_all_games(self):
+        text = tables.format_table2()
+        for game in ("doom3", "fear", "hl2", "riddick", "wolfenstein"):
+            assert game in text
+
+
+class TestAblations:
+    def test_mtu_sharing_not_faster(self, runner):
+        data = ablations.mtu_sharing(runner, share_ratios=(1, 4))
+        for row in data.rows:
+            assert row.get("share_4") <= row.get("share_1") * 1.05
+
+    def test_consolidation_helps_or_neutral(self, runner):
+        data = ablations.consolidation(runner)
+        for row in data.rows:
+            assert row.get("with_consolidation") >= (
+                row.get("without_consolidation") * 0.95
+            )
+
+    def test_aniso_cap_grows_texel_demand(self):
+        data = ablations.anisotropy_cap("riddick-640x480", caps=(2, 8))
+        texels = data.column("texels_per_request")
+        assert texels[1] > texels[0]

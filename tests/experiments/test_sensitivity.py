@@ -1,0 +1,41 @@
+"""Tests for the fitted-constant sensitivity study."""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.experiments.common import FigureData
+
+
+class TestOrderingsHold:
+    def make(self, a, b, s):
+        data = FigureData(
+            figure="sens", title="t", columns=["b_pim", "s_tfim", "a_tfim"]
+        )
+        data.add_row("row", b_pim=b, s_tfim=s, a_tfim=a)
+        return data
+
+    def test_paper_shape_passes(self):
+        assert sensitivity.orderings_hold(self.make(a=1.5, b=1.2, s=0.9))
+
+    def test_stfim_winning_fails(self):
+        assert not sensitivity.orderings_hold(self.make(a=1.5, b=1.2, s=1.3))
+
+    def test_atfim_losing_fails(self):
+        assert not sensitivity.orderings_hold(self.make(a=1.1, b=1.2, s=0.9))
+
+
+class TestSweeps:
+    """One compact real sweep: orderings robust on the fast workload."""
+
+    def test_overlap_sweep_keeps_orderings(self):
+        data = sensitivity.overlap_factor(
+            "riddick-640x480", factors=(0.3, 0.8)
+        )
+        assert sensitivity.orderings_hold(data)
+        assert len(data.rows) == 2
+
+    def test_latency_hiding_sweep_keeps_orderings(self):
+        data = sensitivity.latency_hiding(
+            "riddick-640x480", depths=(16, 128)
+        )
+        assert sensitivity.orderings_hold(data)

@@ -1,0 +1,83 @@
+"""Unit tests for the paper-claims validation checkers."""
+
+import pytest
+
+from repro.experiments.common import FigureData
+from repro.experiments.validate import (
+    CheckResult,
+    check_fig10,
+    check_fig12,
+    check_fig13,
+    check_fig14,
+    summarize,
+    validate,
+)
+
+
+def fig10_data(atfim=3.5, stfim=0.8, bpim=1.1):
+    data = FigureData(
+        figure="fig10", title="t",
+        columns=["baseline", "b_pim", "s_tfim", "a_tfim_001pi"],
+    )
+    data.add_row("w", baseline=1.0, b_pim=bpim, s_tfim=stfim,
+                 a_tfim_001pi=atfim)
+    return data
+
+
+class TestCheckers:
+    def test_fig10_passes_on_paper_shape(self):
+        results = check_fig10(fig10_data())
+        assert all(result.passed for result in results)
+
+    def test_fig10_fails_when_stfim_wins(self):
+        results = check_fig10(fig10_data(atfim=0.9, stfim=1.5))
+        assert not all(result.passed for result in results)
+
+    def test_fig12_ordering_checks(self):
+        data = FigureData(
+            figure="fig12", title="t",
+            columns=["baseline", "b_pim", "s_tfim", "a_tfim_001pi",
+                     "a_tfim_005pi"],
+        )
+        data.add_row("w", baseline=1.0, b_pim=1.0, s_tfim=3.0,
+                     a_tfim_001pi=1.0, a_tfim_005pi=0.7)
+        assert all(result.passed for result in check_fig12(data))
+
+    def test_fig13_fails_when_atfim_wastes_energy(self):
+        data = FigureData(
+            figure="fig13", title="t",
+            columns=["baseline", "b_pim", "s_tfim", "a_tfim_001pi"],
+        )
+        data.add_row("w", baseline=1.0, b_pim=0.9, s_tfim=1.2,
+                     a_tfim_001pi=1.1)
+        assert not all(result.passed for result in check_fig13(data))
+
+    def test_fig14_monotonicity(self):
+        data = FigureData(figure="fig14", title="t", columns=["a", "b", "c"])
+        data.add_row("w", a=1.3, b=1.4, c=1.45)
+        assert check_fig14(data)[0].passed
+        bad = FigureData(figure="fig14", title="t", columns=["a", "b", "c"])
+        bad.add_row("w", a=1.5, b=1.2, c=1.3)
+        assert not check_fig14(bad)[0].passed
+
+
+class TestDispatch:
+    def test_validate_routes_by_figure_id(self):
+        results = validate(fig10_data())
+        assert results
+        assert all(result.figure == "fig10" for result in results)
+
+    def test_unknown_figure_returns_empty(self):
+        data = FigureData(figure="figZZ", title="t", columns=["a"])
+        assert validate(data) == []
+
+    def test_summarize(self):
+        results = [
+            CheckResult(figure="f", claim="a", passed=True, detail=""),
+            CheckResult(figure="f", claim="b", passed=False, detail=""),
+        ]
+        assert summarize(results) == "1/2 paper claims hold"
+
+    def test_str_formats_status(self):
+        result = CheckResult(figure="f", claim="c", passed=True, detail="d")
+        assert str(result).startswith("[PASS]")

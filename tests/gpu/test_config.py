@@ -1,0 +1,51 @@
+"""Tests for GPU configuration (Table I)."""
+
+import pytest
+
+from repro.gpu.config import (
+    ATFIM_MEMORY_UNIT,
+    GPU_TEXTURE_UNIT,
+    GPUConfig,
+    MTU_TEXTURE_UNIT,
+    TextureUnitConfig,
+)
+
+
+class TestTextureUnitConfig:
+    def test_table1_gpu_unit(self):
+        assert GPU_TEXTURE_UNIT.address_alus == 4
+        assert GPU_TEXTURE_UNIT.filter_alus == 8
+
+    def test_table1_mtu_matches_gpu_unit(self):
+        assert MTU_TEXTURE_UNIT.address_alus == GPU_TEXTURE_UNIT.address_alus
+        assert MTU_TEXTURE_UNIT.filter_alus == GPU_TEXTURE_UNIT.filter_alus
+
+    def test_table1_atfim_units_are_16_wide(self):
+        assert ATFIM_MEMORY_UNIT.address_alus == 16
+        assert ATFIM_MEMORY_UNIT.filter_alus == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TextureUnitConfig(address_alus=0)
+        with pytest.raises(ValueError):
+            TextureUnitConfig(pipeline_depth=-1.0)
+
+
+class TestGPUConfig:
+    def test_table1_defaults(self):
+        config = GPUConfig()
+        assert config.num_clusters == 16
+        assert config.shaders_per_cluster == 16
+        assert config.frequency_ghz == 1.0
+        assert config.tile_size == 16
+        assert config.num_texture_units == 16
+        assert config.l1_cache.size_bytes == 16 * 1024
+        assert config.l2_cache.size_bytes == 128 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_clusters=0)
+        with pytest.raises(ValueError):
+            GPUConfig(overlap_factor=1.5)
+        with pytest.raises(ValueError):
+            GPUConfig(max_inflight_texture_requests=0)

@@ -1,0 +1,94 @@
+"""Tests for the geometry, shader and ROP stage models."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.geometry import simulate_geometry
+from repro.gpu.rop import simulate_rop
+from repro.gpu.shader import simulate_fragment_shading
+from repro.memory.traffic import TrafficClass, TrafficMeter
+
+
+class TestGeometry:
+    def test_cycles_scale_with_vertices(self):
+        config = GPUConfig()
+        meter = TrafficMeter()
+        small = simulate_geometry(config, 100, meter)
+        large = simulate_geometry(config, 1000, TrafficMeter())
+        assert large.cycles > small.cycles
+
+    def test_traffic_accounted_as_geometry(self):
+        config = GPUConfig()
+        meter = TrafficMeter()
+        result = simulate_geometry(config, 100, meter)
+        assert meter.external[TrafficClass.GEOMETRY] == result.vertex_bytes
+        assert result.vertex_bytes == 100 * config.vertex_bytes
+
+    def test_fetch_rate_bound(self):
+        config = GPUConfig()
+        result = simulate_geometry(config, 4000, TrafficMeter())
+        assert result.cycles >= 4000 / config.vertices_per_cycle
+
+    def test_zero_vertices(self):
+        result = simulate_geometry(GPUConfig(), 0, TrafficMeter())
+        assert result.cycles == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_geometry(GPUConfig(), -1, TrafficMeter())
+
+
+class TestShader:
+    def test_busiest_cluster_dominates(self):
+        config = GPUConfig()
+        counts = [100] * config.num_clusters
+        counts[5] = 400
+        result = simulate_fragment_shading(config, counts)
+        assert result.busiest_cluster == 5
+        assert result.cycles == pytest.approx(
+            400 * config.shader_cycles_per_fragment / config.shaders_per_cluster
+        )
+
+    def test_fragment_total(self):
+        config = GPUConfig()
+        result = simulate_fragment_shading(config, [10] * config.num_clusters)
+        assert result.fragments == 10 * config.num_clusters
+
+    def test_wrong_cluster_count_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fragment_shading(GPUConfig(), [1, 2, 3])
+
+    def test_negative_count_rejected(self):
+        config = GPUConfig()
+        counts = [0] * config.num_clusters
+        counts[0] = -1
+        with pytest.raises(ValueError):
+            simulate_fragment_shading(config, counts)
+
+
+class TestRop:
+    def test_traffic_classes_accounted(self):
+        config = GPUConfig()
+        meter = TrafficMeter()
+        result = simulate_rop(config, 1000, 500, 128.0, meter)
+        assert meter.external[TrafficClass.ZTEST] == result.z_bytes
+        assert meter.external[TrafficClass.COLOR] == result.color_bytes
+        assert meter.external[TrafficClass.FRAMEBUFFER] == result.framebuffer_bytes
+
+    def test_cycles_are_bytes_over_bandwidth(self):
+        config = GPUConfig()
+        result = simulate_rop(config, 1000, 500, 64.0, TrafficMeter())
+        assert result.cycles == pytest.approx(result.total_bytes / 64.0)
+
+    def test_more_bandwidth_fewer_cycles(self):
+        config = GPUConfig()
+        slow = simulate_rop(config, 1000, 500, 128.0, TrafficMeter())
+        fast = simulate_rop(config, 1000, 500, 320.0, TrafficMeter())
+        assert fast.cycles < slow.cycles
+        assert fast.total_bytes == slow.total_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_rop(GPUConfig(), -1, 0, 128.0, TrafficMeter())
+        with pytest.raises(ValueError):
+            simulate_rop(GPUConfig(), 0, 0, 0.0, TrafficMeter())

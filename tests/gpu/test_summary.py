@@ -1,0 +1,25 @@
+"""Tests for the frame summary formatting."""
+
+from repro.core import Design
+
+
+class TestFrameSummary:
+    def test_summary_mentions_key_quantities(self, design_runs):
+        frame = design_runs[Design.BASELINE].frame
+        text = frame.summary()
+        assert "frame:" in text
+        assert "stages:" in text
+        assert "texture latency:" in text
+        assert "external traffic:" in text
+        assert str(frame.num_requests) in text
+
+    def test_summary_includes_cache_line_for_cached_designs(self, design_runs):
+        baseline = design_runs[Design.BASELINE].frame.summary()
+        stfim = design_runs[Design.S_TFIM].frame.summary()
+        assert "texture caches:" in baseline
+        # S-TFIM has no texture caches: the line is omitted.
+        assert "texture caches:" not in stfim
+
+    def test_summary_reports_angle_recalcs_for_atfim(self, design_runs):
+        text = design_runs[Design.A_TFIM].frame.summary()
+        assert "angle recalcs" in text

@@ -1,0 +1,61 @@
+"""Tests for the texture-unit resource bundle."""
+
+import pytest
+
+from repro.gpu.config import GPU_TEXTURE_UNIT, TextureUnitConfig
+from repro.gpu.texunit import TextureUnit
+
+
+class TestTextureUnit:
+    def test_address_throughput(self):
+        unit = TextureUnit("tu", TextureUnitConfig(address_alus=4, filter_alus=8,
+                                                   pipeline_depth=0.0))
+        done = unit.generate_addresses(0.0, 32)
+        assert done == pytest.approx(8.0)
+
+    def test_filter_throughput(self):
+        unit = TextureUnit("tu", TextureUnitConfig(address_alus=4, filter_alus=8,
+                                                   pipeline_depth=0.0))
+        done = unit.filter_texels(0.0, 32)
+        assert done == pytest.approx(4.0)
+
+    def test_pipeline_depth_added(self):
+        unit = TextureUnit("tu", TextureUnitConfig(address_alus=4, filter_alus=8,
+                                                   pipeline_depth=8.0))
+        assert unit.generate_addresses(0.0, 4) == pytest.approx(1.0 + 8.0)
+
+    def test_zero_texels_free(self):
+        unit = TextureUnit("tu", GPU_TEXTURE_UNIT)
+        assert unit.generate_addresses(5.0, 0) == 5.0
+        assert unit.filter_texels(5.0, 0) == 5.0
+
+    def test_activity_counts(self):
+        unit = TextureUnit("tu", GPU_TEXTURE_UNIT)
+        unit.note_request()
+        unit.generate_addresses(0.0, 32)
+        unit.filter_texels(0.0, 32)
+        assert unit.activity.requests == 1
+        assert unit.activity.address_ops == 32
+        assert unit.activity.filter_ops == 32
+
+    def test_activity_merge(self):
+        left = TextureUnit("a", GPU_TEXTURE_UNIT)
+        right = TextureUnit("b", GPU_TEXTURE_UNIT)
+        left.generate_addresses(0.0, 8)
+        right.generate_addresses(0.0, 4)
+        left.activity.merge(right.activity)
+        assert left.activity.address_ops == 12
+
+    def test_negative_texels_rejected(self):
+        unit = TextureUnit("tu", GPU_TEXTURE_UNIT)
+        with pytest.raises(ValueError):
+            unit.generate_addresses(0.0, -1)
+        with pytest.raises(ValueError):
+            unit.filter_texels(0.0, -1)
+
+    def test_reset(self):
+        unit = TextureUnit("tu", GPU_TEXTURE_UNIT)
+        unit.generate_addresses(0.0, 8)
+        unit.reset()
+        assert unit.activity.address_ops == 0
+        assert unit.address_stage.next_issue == 0.0

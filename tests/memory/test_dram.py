@@ -1,0 +1,138 @@
+"""Tests for the bank/row DRAM model."""
+
+import pytest
+
+from repro.memory.dram import DramBank, DramDevice, DramTiming
+
+
+class TestDramTiming:
+    def test_occupancies(self):
+        timing = DramTiming()
+        assert timing.row_hit_occupancy == timing.burst_cycles
+        assert timing.row_miss_occupancy == (
+            timing.precharge_cycles
+            + timing.row_activate_cycles
+            + timing.burst_cycles
+        )
+        assert timing.row_miss_occupancy > timing.row_hit_occupancy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramTiming(row_bytes=0)
+        with pytest.raises(ValueError):
+            DramTiming(burst_cycles=-1.0)
+
+
+class TestDramBank:
+    def test_first_access_is_row_miss(self):
+        bank = DramBank(DramTiming())
+        bank.access_row(0.0, row=3)
+        assert bank.row_misses == 1
+        assert bank.open_row == 3
+
+    def test_second_access_same_row_hits(self):
+        bank = DramBank(DramTiming())
+        bank.access_row(0.0, row=3)
+        bank.access_row(50.0, row=3)
+        assert bank.row_hits == 1
+
+    def test_row_switch_misses(self):
+        bank = DramBank(DramTiming())
+        bank.access_row(0.0, row=3)
+        bank.access_row(50.0, row=4)
+        assert bank.row_misses == 2
+
+    def test_hit_occupies_only_burst(self):
+        timing = DramTiming()
+        bank = DramBank(timing)
+        bank.access_row(0.0, row=1)
+        free_after_miss = bank.next_free
+        ready = bank.access_row(free_after_miss, row=1)
+        assert bank.next_free - free_after_miss == pytest.approx(
+            timing.burst_cycles
+        )
+        # CAS latency is pipelined on top of occupancy.
+        assert ready == pytest.approx(
+            bank.next_free + timing.column_access_cycles
+        )
+
+    def test_queueing_behind_busy_bank(self):
+        bank = DramBank(DramTiming())
+        bank.access_row(0.0, row=1)
+        busy_until = bank.next_free
+        bank.access_row(0.0, row=1)
+        assert bank.next_free > busy_until
+
+    def test_row_hit_rate(self):
+        bank = DramBank(DramTiming())
+        bank.access_row(0.0, 1)
+        bank.access_row(0.0, 1)
+        bank.access_row(0.0, 1)
+        assert bank.row_hit_rate() == pytest.approx(2.0 / 3.0)
+
+    def test_negative_row_rejected(self):
+        bank = DramBank(DramTiming())
+        with pytest.raises(ValueError):
+            bank.access_row(0.0, row=-1)
+
+    def test_reset(self):
+        bank = DramBank(DramTiming())
+        bank.access_row(0.0, 1)
+        bank.reset()
+        assert bank.open_row is None
+        assert bank.row_hit_rate() == 0.0
+
+
+class TestDramDevice:
+    def test_block_interleaving_rotates_banks(self):
+        device = DramDevice(DramTiming(), num_banks=4, bank_interleave_bytes=256)
+        banks = {device.locate(block * 256)[0] for block in range(4)}
+        assert banks == {0, 1, 2, 3}
+
+    def test_same_block_same_bank(self):
+        device = DramDevice(DramTiming(), num_banks=4)
+        bank_a, _ = device.locate(256 * 7)
+        bank_b, _ = device.locate(256 * 7 + 128)
+        assert bank_a == bank_b
+
+    def test_streaming_sweep_hits_rows(self):
+        # A linear sweep larger than one row span should mostly row-hit.
+        device = DramDevice(DramTiming(), num_banks=4)
+        for address in range(0, 64 * 1024, 64):
+            device.access(0.0, address)
+        assert device.row_hit_rate() > 0.85
+
+    def test_interleave_step_shifts_bank_rotation(self):
+        # With step 32 (an HMC vault), every 32nd block belongs to this
+        # device, and its banks rotate across those.
+        device = DramDevice(
+            DramTiming(), num_banks=8, bank_interleave_bytes=256, interleave_step=32
+        )
+        stride = 256 * 32
+        banks = {device.locate(block * stride)[0] for block in range(8)}
+        assert banks == set(range(8))
+
+    def test_busy_accounting(self):
+        device = DramDevice(DramTiming(), num_banks=2)
+        device.access(0.0, 0)
+        assert device.busy_cycles > 0
+
+    def test_negative_address_rejected(self):
+        device = DramDevice(DramTiming())
+        with pytest.raises(ValueError):
+            device.locate(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramDevice(DramTiming(), num_banks=0)
+        with pytest.raises(ValueError):
+            DramDevice(DramTiming(), bank_interleave_bytes=0)
+        with pytest.raises(ValueError):
+            DramDevice(DramTiming(), interleave_step=0)
+
+    def test_reset(self):
+        device = DramDevice(DramTiming())
+        device.access(0.0, 0)
+        device.reset()
+        assert device.row_hit_rate() == 0.0
+        assert device.busy_cycles == 0.0

@@ -1,0 +1,73 @@
+"""Property-based tests for the DRAM bank/row model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.dram import DramBank, DramDevice, DramTiming
+
+addresses = st.lists(
+    st.integers(0, 1 << 20).map(lambda value: (value // 4) * 4),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestDramProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(rows=st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_bank_busy_equals_sum_of_occupancies(self, rows):
+        timing = DramTiming()
+        bank = DramBank(timing)
+        for row in rows:
+            bank.access_row(0.0, row)
+        expected = (
+            bank.row_hits * timing.row_hit_occupancy
+            + bank.row_misses * timing.row_miss_occupancy
+        )
+        assert bank.busy_cycles == expected
+        assert bank.row_hits + bank.row_misses == len(rows)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rows=st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_bank_ready_times_monotone(self, rows):
+        bank = DramBank(DramTiming())
+        previous = 0.0
+        for row in rows:
+            ready = bank.access_row(0.0, row)
+            assert ready >= previous
+            previous = ready
+
+    @settings(max_examples=100, deadline=None)
+    @given(sequence=addresses)
+    def test_locate_is_deterministic_and_in_range(self, sequence):
+        device = DramDevice(DramTiming(), num_banks=8)
+        for address in sequence:
+            bank_a, row_a = device.locate(address)
+            bank_b, row_b = device.locate(address)
+            assert (bank_a, row_a) == (bank_b, row_b)
+            assert 0 <= bank_a < 8
+            assert row_a >= 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(sequence=addresses)
+    def test_same_block_never_splits_banks(self, sequence):
+        device = DramDevice(DramTiming(), num_banks=8,
+                            bank_interleave_bytes=256)
+        for address in sequence:
+            block_base = (address // 256) * 256
+            bank_base, _ = device.locate(block_base)
+            bank_here, _ = device.locate(address)
+            assert bank_here == bank_base
+
+    @settings(max_examples=50, deadline=None)
+    @given(sequence=addresses)
+    def test_single_open_row_per_bank_invariant(self, sequence):
+        """After any access sequence, each bank has exactly the row of
+        its last access open."""
+        device = DramDevice(DramTiming(), num_banks=4)
+        last_row = {}
+        for address in sequence:
+            bank, row = device.locate(address)
+            device.access(0.0, address)
+            last_row[bank] = row
+        for bank_index, row in last_row.items():
+            assert device.banks[bank_index].open_row == row

@@ -1,0 +1,100 @@
+"""Tests for the multi-HMC memory (paper section V-E)."""
+
+import pytest
+
+from repro.memory.multicube import MultiCubeMemory
+
+
+class TestMultiCubeMemory:
+    def test_regions_route_to_distinct_cubes(self):
+        memory = MultiCubeMemory(num_cubes=2, region_bytes=1 << 24)
+        first = memory.cube_for(0)
+        second = memory.cube_for(1 << 24)
+        assert first is not second
+        assert memory.cube_for((1 << 24) - 64) is first
+
+    def test_round_robin_wraps(self):
+        memory = MultiCubeMemory(num_cubes=2, region_bytes=1 << 24)
+        assert memory.cube_for(2 << 24) is memory.cube_for(0)
+
+    def test_whole_texture_region_in_one_cube(self):
+        """The section V-E requirement: a texture's mip chain (one
+        address region) never straddles cubes."""
+        memory = MultiCubeMemory(num_cubes=4, region_bytes=1 << 24)
+        base = 5 << 24
+        cubes = {
+            memory.cube_for(base + offset).external_reads is not None
+            and id(memory.cube_for(base + offset))
+            for offset in range(0, 1 << 24, 1 << 20)
+        }
+        assert len(cubes) == 1
+
+    def test_internal_reads_counted_across_cubes(self):
+        memory = MultiCubeMemory(num_cubes=2)
+        memory.internal_read(0.0, 0, 64)
+        memory.internal_read(0.0, 1 << 24, 64)
+        assert memory.internal_reads == 2
+        assert memory.cubes[0].internal_reads == 1
+        assert memory.cubes[1].internal_reads == 1
+
+    def test_external_read_uses_owning_cubes_links(self):
+        memory = MultiCubeMemory(num_cubes=2)
+        memory.external_read(0.0, 1 << 24, 16, 80)
+        assert memory.cubes[1].external_bytes > 0
+        assert memory.cubes[0].external_bytes == 0
+
+    def test_parallel_links_relieve_contention(self):
+        # Saturating one cube's link leaves the other cube's fast.
+        single = MultiCubeMemory(num_cubes=1)
+        double = MultiCubeMemory(num_cubes=2)
+        last_single = last_double = 0.0
+        for index in range(200):
+            address = (index % 2) << 24
+            last_single = max(
+                last_single, single.send_request(0.0, address, 1024)
+            )
+            last_double = max(
+                last_double, double.send_request(0.0, address, 1024)
+            )
+        assert last_double < last_single
+
+    def test_send_request_response_route(self):
+        memory = MultiCubeMemory(num_cubes=2)
+        memory.send_request(0.0, 0, 64)
+        memory.send_response(0.0, 1 << 24, 80)
+        assert memory.cubes[0].tx_link.total_bytes == 64.0
+        assert memory.cubes[1].rx_link.total_bytes == 80.0
+
+    def test_reset(self):
+        memory = MultiCubeMemory(num_cubes=2)
+        memory.internal_read(0.0, 0, 64)
+        memory.reset()
+        assert memory.internal_bytes == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiCubeMemory(num_cubes=0)
+        with pytest.raises(ValueError):
+            MultiCubeMemory(region_bytes=0)
+        with pytest.raises(ValueError):
+            MultiCubeMemory().cube_for(-1)
+
+
+class TestMultiCubeDesign:
+    def test_atfim_runs_with_multiple_cubes(self, fast_workload,
+                                            fast_workload_trace):
+        from repro.core import Design, simulate_frame
+
+        scene, trace = fast_workload_trace
+        single = simulate_frame(
+            scene, trace, fast_workload.design_config(Design.A_TFIM, num_cubes=1)
+        )
+        double = simulate_frame(
+            scene, trace, fast_workload.design_config(Design.A_TFIM, num_cubes=2)
+        )
+        # More cubes never hurt (parallel links/vaults).
+        assert double.frame.frame_cycles <= single.frame.frame_cycles * 1.05
+        # Traffic is identical: placement does not change what is fetched.
+        assert double.frame.traffic.external_texture == pytest.approx(
+            single.frame.traffic.external_texture
+        )

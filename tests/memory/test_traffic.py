@@ -1,0 +1,58 @@
+"""Tests for class-tagged traffic accounting."""
+
+import pytest
+
+from repro.memory.traffic import TrafficClass, TrafficMeter
+
+
+class TestTrafficMeter:
+    def test_external_and_internal_separate(self):
+        meter = TrafficMeter()
+        meter.add_external(TrafficClass.TEXTURE, 100.0)
+        meter.add_internal(TrafficClass.TEXTURE, 900.0)
+        assert meter.external_total == 100.0
+        assert meter.internal_total == 900.0
+        assert meter.external_texture == 100.0
+
+    def test_breakdown_sums_to_one(self):
+        meter = TrafficMeter()
+        meter.add_external(TrafficClass.TEXTURE, 60.0)
+        meter.add_external(TrafficClass.FRAMEBUFFER, 20.0)
+        meter.add_external(TrafficClass.ZTEST, 15.0)
+        meter.add_external(TrafficClass.COLOR, 5.0)
+        breakdown = meter.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["texture"] == pytest.approx(0.6)
+
+    def test_empty_breakdown_is_zero(self):
+        breakdown = TrafficMeter().breakdown()
+        assert all(value == 0.0 for value in breakdown.values())
+
+    def test_negative_bytes_rejected(self):
+        meter = TrafficMeter()
+        with pytest.raises(ValueError):
+            meter.add_external(TrafficClass.TEXTURE, -1.0)
+        with pytest.raises(ValueError):
+            meter.add_internal(TrafficClass.COLOR, -1.0)
+
+    def test_merge(self):
+        left = TrafficMeter()
+        right = TrafficMeter()
+        left.add_external(TrafficClass.GEOMETRY, 10.0)
+        right.add_external(TrafficClass.GEOMETRY, 5.0)
+        right.add_internal(TrafficClass.TEXTURE, 7.0)
+        left.merge(right)
+        assert left.external[TrafficClass.GEOMETRY] == 15.0
+        assert left.internal[TrafficClass.TEXTURE] == 7.0
+
+    def test_reset(self):
+        meter = TrafficMeter()
+        meter.add_external(TrafficClass.TEXTURE, 10.0)
+        meter.reset()
+        assert meter.external_total == 0.0
+        assert meter.internal_total == 0.0
+
+    def test_all_classes_present(self):
+        meter = TrafficMeter()
+        assert set(meter.external) == set(TrafficClass)
+        assert set(meter.internal) == set(TrafficClass)

@@ -1,0 +1,189 @@
+"""Tests for the rasterizer: coverage, depth, derivatives, clipping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.render.framebuffer import Framebuffer
+from repro.render.raster import Rasterizer
+from repro.render.scene import Scene
+from repro.workloads.textures import ProceduralTextureLibrary
+
+
+def make_scene():
+    scene = Scene()
+    library = ProceduralTextureLibrary()
+    scene.add_texture(library.create("checker", 64, seed=1))
+    scene.add_texture(library.create("brick", 64, seed=2))
+    return scene
+
+
+def facing_camera(distance=10.0):
+    return Camera(
+        position=np.array([0.0, 0.0, distance]),
+        target=np.array([0.0, 0.0, 0.0]),
+        fov_y=math.radians(60.0),
+    )
+
+
+def add_fullscreen_wall(scene, texture_id=0, z=0.0, half=100.0):
+    scene.add_quad(
+        [(-half, -half, z), (half, -half, z), (half, half, z), (-half, half, z)],
+        texture_id,
+        uv_scale=8.0,
+    )
+
+
+class TestCoverage:
+    def test_fullscreen_wall_covers_every_pixel_once(self):
+        scene = make_scene()
+        add_fullscreen_wall(scene)
+        framebuffer = Framebuffer(16, 12)
+        rasterizer = Rasterizer(tile_size=4)
+        fragments = rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        covered = {(f.x, f.y) for f, _ in fragments}
+        assert len(fragments) == 16 * 12
+        assert len(covered) == 16 * 12
+
+    def test_offscreen_triangle_generates_nothing(self):
+        scene = make_scene()
+        scene.add_quad(
+            [(100, 100, 0), (101, 100, 0), (101, 101, 0), (100, 101, 0)], 0
+        )
+        framebuffer = Framebuffer(16, 12)
+        rasterizer = Rasterizer()
+        fragments = rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        assert fragments == []
+
+    def test_stats_recorded(self):
+        scene = make_scene()
+        add_fullscreen_wall(scene)
+        framebuffer = Framebuffer(8, 8)
+        rasterizer = Rasterizer(tile_size=4)
+        rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        assert rasterizer.stats.triangles_submitted == 2
+        assert rasterizer.stats.fragments_generated >= 64
+
+
+class TestDepth:
+    def test_early_z_kills_occluded_fragments(self):
+        scene = make_scene()
+        add_fullscreen_wall(scene, texture_id=0, z=0.0)   # near (drawn first)
+        add_fullscreen_wall(scene, texture_id=1, z=-5.0)  # far (behind)
+        framebuffer = Framebuffer(8, 8)
+        rasterizer = Rasterizer(tile_size=4)
+        fragments = rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        # The far wall is drawn after the near wall and should be fully
+        # early-Z culled.
+        assert all(f.texture_id == 0 for f, _ in fragments)
+        assert rasterizer.stats.fragments_early_z_killed == 64
+
+    def test_overdraw_when_far_drawn_first(self):
+        scene = make_scene()
+        add_fullscreen_wall(scene, texture_id=1, z=-5.0)  # far first
+        add_fullscreen_wall(scene, texture_id=0, z=0.0)   # near second
+        framebuffer = Framebuffer(8, 8)
+        rasterizer = Rasterizer(tile_size=4)
+        fragments = rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        # Both walls shade: 2x the pixels (immediate-mode overdraw).
+        assert len(fragments) == 2 * 64
+
+
+class TestDerivatives:
+    def test_face_on_wall_has_unit_texel_density(self):
+        # A wall whose texture maps n texels across m pixels should have
+        # |du/dx| ~ n/m, independent of position.
+        scene = make_scene()
+        half = 10.0
+        scene.add_quad(
+            [(-half, -half, 0), (half, -half, 0), (half, half, 0), (-half, half, 0)],
+            0,
+            uv_scale=1.0,
+        )
+        width = 32
+        framebuffer = Framebuffer(width, 32)
+        rasterizer = Rasterizer()
+        camera = Camera(
+            position=np.array([0.0, 0.0, 10.0 / math.tan(math.radians(30.0))]),
+            target=np.array([0.0, 0.0, 0.0]),
+            fov_y=math.radians(60.0),
+        )
+        fragments = rasterizer.rasterize_scene(scene, camera, framebuffer)
+        # 64 texels across ~32 pixels -> du/dx ~ 2 texels/pixel.
+        centre = [f for f, _ in fragments if abs(f.x - 16) < 4 and abs(f.y - 16) < 4]
+        assert centre
+        for fragment in centre:
+            assert fragment.dudx == pytest.approx(2.0, rel=0.2)
+            assert abs(fragment.dvdx) < 0.2
+
+    def test_grazing_floor_is_anisotropic(self):
+        scene = make_scene()
+        scene.add_quad(
+            [(-20, 0, 5), (20, 0, 5), (20, 0, -200), (-20, 0, -200)],
+            0,
+            uv_scale=16.0,
+        )
+        camera = Camera(
+            position=np.array([0.0, 1.0, 6.0]),
+            target=np.array([0.0, 0.0, -50.0]),
+        )
+        framebuffer = Framebuffer(32, 24)
+        rasterizer = Rasterizer(max_anisotropy=16)
+        results = rasterizer.rasterize_scene(scene, camera, framebuffer)
+        anisotropies = [request.footprint.anisotropy for _, request in results]
+        assert max(anisotropies) > 2.0
+
+    def test_camera_angle_face_on_vs_grazing(self):
+        scene = make_scene()
+        add_fullscreen_wall(scene)  # facing the camera
+        framebuffer = Framebuffer(8, 8)
+        rasterizer = Rasterizer()
+        results = rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        angles = [f.camera_angle for f, _ in results]
+        assert max(angles) < math.radians(45.0)
+
+
+class TestClipping:
+    def test_triangle_behind_camera_culled(self):
+        scene = make_scene()
+        add_fullscreen_wall(scene, z=20.0)  # behind the camera at z=10
+        framebuffer = Framebuffer(8, 8)
+        rasterizer = Rasterizer()
+        fragments = rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        assert fragments == []
+        assert rasterizer.stats.triangles_clipped_away == 2
+
+    def test_plane_crossing_near_plane_is_clipped_not_culled(self):
+        # A floor passing under the camera crosses the near plane; it
+        # must still produce fragments (sub-triangles), not vanish.
+        scene = make_scene()
+        scene.add_quad(
+            [(-20, 0, 20), (20, 0, 20), (20, 0, -200), (-20, 0, -200)],
+            0,
+            uv_scale=4.0,
+        )
+        camera = Camera(
+            position=np.array([0.0, 1.0, 0.0]),
+            target=np.array([0.0, 0.0, -50.0]),
+        )
+        framebuffer = Framebuffer(16, 12)
+        rasterizer = Rasterizer()
+        fragments = rasterizer.rasterize_scene(scene, camera, framebuffer)
+        assert len(fragments) > 0
+
+    def test_requests_carry_tiles(self):
+        scene = make_scene()
+        add_fullscreen_wall(scene)
+        framebuffer = Framebuffer(16, 16)
+        rasterizer = Rasterizer(tile_size=4)
+        results = rasterizer.rasterize_scene(scene, facing_camera(), framebuffer)
+        tiles = {(request.tile_x, request.tile_y) for _, request in results}
+        assert len(tiles) == 16  # 4x4 tiles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rasterizer(tile_size=0)
+        with pytest.raises(ValueError):
+            Rasterizer(max_anisotropy=0)

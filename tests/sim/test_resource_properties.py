@@ -1,0 +1,84 @@
+"""Property-based tests for the resource-occupancy servers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.resources import BandwidthServer, RequestQueue, ThroughputUnit
+
+sizes = st.lists(st.integers(1, 4096), min_size=1, max_size=60)
+arrivals = st.lists(st.floats(0, 1000), min_size=1, max_size=60)
+
+
+class TestBandwidthServerProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(sizes=sizes)
+    def test_throughput_never_exceeds_rate(self, sizes):
+        """Total service time is at least total bytes / rate."""
+        server = BandwidthServer(name="s", bytes_per_cycle=32.0, latency=0.0)
+        last_ready = 0.0
+        for nbytes in sizes:
+            last_ready = server.access(0.0, nbytes)
+        assert last_ready >= sum(sizes) / 32.0 - 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(sizes=sizes)
+    def test_completions_monotone_for_simultaneous_arrivals(self, sizes):
+        server = BandwidthServer(name="s", bytes_per_cycle=16.0, latency=5.0)
+        completions = [server.access(0.0, nbytes) for nbytes in sizes]
+        assert completions == sorted(completions)
+
+    @settings(max_examples=100, deadline=None)
+    @given(sizes=sizes, latency=st.floats(0, 100))
+    def test_ready_never_before_arrival_plus_minimum(self, sizes, latency):
+        server = BandwidthServer(name="s", bytes_per_cycle=64.0, latency=latency)
+        for index, nbytes in enumerate(sizes):
+            arrival = float(index)
+            ready = server.access(arrival, nbytes)
+            assert ready >= arrival + nbytes / 64.0 + latency - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=sizes)
+    def test_busy_cycles_equal_work(self, sizes):
+        server = BandwidthServer(name="s", bytes_per_cycle=8.0)
+        for nbytes in sizes:
+            server.access(0.0, nbytes)
+        assert server.busy_cycles == sum(sizes) / 8.0
+        assert server.total_bytes == float(sum(sizes))
+
+
+class TestThroughputUnitProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(ops=st.lists(st.integers(1, 64), min_size=1, max_size=40))
+    def test_issue_slots_never_overlap(self, ops):
+        unit = ThroughputUnit(name="u", ops_per_cycle=4.0, pipeline_depth=2.0)
+        previous_issue_end = 0.0
+        for count in ops:
+            completion = unit.issue(0.0, count)
+            issue_end = completion - unit.pipeline_depth
+            assert issue_end >= previous_issue_end - 1e-9
+            previous_issue_end = issue_end
+        assert unit.total_ops == sum(ops)
+
+
+class TestRequestQueueProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        arrivals=st.lists(st.floats(0, 50), min_size=2, max_size=60),
+        capacity=st.integers(1, 16),
+    )
+    def test_admission_never_precedes_arrival(self, arrivals, capacity):
+        queue = RequestQueue(name="q", capacity=capacity, drain_rate=1.0)
+        for arrival in sorted(arrivals):
+            admitted = queue.enqueue(arrival)
+            assert admitted >= arrival - 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(count=st.integers(1, 100), capacity=st.integers(1, 8))
+    def test_burst_admission_rate_bounded_by_drain(self, count, capacity):
+        """A burst of simultaneous arrivals is admitted no faster than
+        the drain rate once the buffer fills."""
+        queue = RequestQueue(name="q", capacity=capacity, drain_rate=1.0)
+        last_admitted = 0.0
+        for _ in range(count):
+            last_admitted = queue.enqueue(0.0)
+        expected_minimum = max(0, count - capacity)
+        assert last_admitted >= expected_minimum - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for counters, accumulators and stat groups."""
+
+import pytest
+
+from repro.sim.stats import Accumulator, Counter, StatGroup
+
+
+class TestCounter:
+    def test_add_default_one(self):
+        counter = Counter("events")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_add_rejected(self):
+        counter = Counter("events")
+        with pytest.raises(ValueError):
+            counter.add(-1.0)
+
+    def test_reset(self):
+        counter = Counter("events")
+        counter.add(4)
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestAccumulator:
+    def test_mean_min_max(self):
+        acc = Accumulator("lat")
+        for sample in (1.0, 3.0, 5.0):
+            acc.observe(sample)
+        assert acc.mean == pytest.approx(3.0)
+        assert acc.minimum == 1.0
+        assert acc.maximum == 5.0
+        assert acc.count == 3
+
+    def test_empty_mean_is_zero(self):
+        assert Accumulator("lat").mean == 0.0
+
+    def test_merge(self):
+        left = Accumulator("lat")
+        right = Accumulator("lat")
+        left.observe(2.0)
+        right.observe(4.0)
+        right.observe(6.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.mean == pytest.approx(4.0)
+        assert left.maximum == 6.0
+
+    def test_merge_empty_keeps_bounds(self):
+        left = Accumulator("lat")
+        left.observe(1.0)
+        left.merge(Accumulator("lat"))
+        assert left.minimum == 1.0
+        assert left.maximum == 1.0
+
+    def test_reset(self):
+        acc = Accumulator("lat")
+        acc.observe(9.0)
+        acc.reset()
+        assert acc.count == 0
+        assert acc.total == 0.0
+
+
+class TestStatGroup:
+    def test_counter_identity_per_name(self):
+        group = StatGroup("gpu")
+        assert group.counter("hits") is group.counter("hits")
+
+    def test_flatten_paths(self):
+        root = StatGroup("gpu")
+        root.counter("frames").add(1)
+        child = root.child("tex")
+        child.counter("hits").add(10)
+        child.accumulator("lat").observe(4.0)
+        flat = root.as_dict()
+        assert flat["gpu.frames"] == 1.0
+        assert flat["gpu.tex.hits"] == 10.0
+        assert flat["gpu.tex.lat.mean"] == 4.0
+        assert flat["gpu.tex.lat.count"] == 1.0
+
+    def test_nested_children(self):
+        root = StatGroup("a")
+        root.child("b").child("c").counter("x").add(2)
+        assert root.as_dict()["a.b.c.x"] == 2.0
+
+    def test_reset_recurses(self):
+        root = StatGroup("a")
+        root.counter("x").add(5)
+        root.child("b").counter("y").add(7)
+        root.reset()
+        assert root.as_dict()["a.x"] == 0.0
+        assert root.as_dict()["a.b.y"] == 0.0

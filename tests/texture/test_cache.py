@@ -1,0 +1,165 @@
+"""Tests for the texture caches and the angle-tag policy."""
+
+import math
+
+import pytest
+
+from repro.texture.cache import CacheAccessResult, CacheConfig, TextureCache
+
+
+def make_cache(size=1024, assoc=4, line=64):
+    return TextureCache(CacheConfig(size_bytes=size, associativity=assoc,
+                                    line_bytes=line))
+
+
+class TestCacheConfig:
+    def test_table1_l1_geometry(self):
+        config = CacheConfig(size_bytes=16 * 1024, associativity=16)
+        assert config.num_lines == 256
+        assert config.num_sets == 16
+
+    def test_angle_storage_matches_paper(self):
+        # Section VII-E: 0.21 KB per 16KB L1, 1.75 KB per 128KB L2.
+        l1 = CacheConfig(size_bytes=16 * 1024)
+        l2 = CacheConfig(size_bytes=128 * 1024)
+        assert l1.angle_storage_bytes / 1024 == pytest.approx(0.21, abs=0.02)
+        assert l2.angle_storage_bytes / 1024 == pytest.approx(1.75, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=16)
+
+
+class TestBasicCaching:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        assert cache.lookup(0) is CacheAccessResult.MISS
+        assert cache.lookup(0) is CacheAccessResult.HIT
+
+    def test_same_line_shares_entry(self):
+        cache = make_cache()
+        cache.lookup(0)
+        assert cache.lookup(63) is CacheAccessResult.HIT
+        assert cache.lookup(64) is CacheAccessResult.MISS
+
+    def test_lru_eviction(self):
+        cache = make_cache(size=4 * 64, assoc=4)  # one set of 4 lines
+        for index in range(4):
+            cache.lookup(index * 64)
+        cache.lookup(0)          # refresh line 0
+        cache.lookup(4 * 64)     # evicts line 1 (LRU)
+        assert cache.lookup(0) is CacheAccessResult.HIT
+        assert cache.lookup(64) is CacheAccessResult.MISS
+
+    def test_sets_isolate_addresses(self):
+        cache = make_cache(size=8 * 64, assoc=4)  # 2 sets
+        # Fill set 0 beyond capacity; set 1 lines must survive.
+        cache.lookup(64)  # set 1
+        for index in range(8):
+            cache.lookup(index * 2 * 64)  # all map to set 0
+        assert cache.lookup(64) is CacheAccessResult.HIT
+
+    def test_hit_and_miss_rates(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.lookup(0)
+        cache.lookup(64)
+        assert cache.hit_rate() == pytest.approx(1.0 / 3.0)
+        assert cache.miss_rate() == pytest.approx(2.0 / 3.0)
+
+    def test_contains_is_side_effect_free(self):
+        cache = make_cache()
+        cache.lookup(0)
+        hits_before = cache.hits
+        assert cache.contains(0)
+        assert not cache.contains(4096)
+        assert cache.hits == hits_before
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache().lookup(-1)
+
+    def test_reset_clears_contents(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.reset()
+        assert cache.lookup(0) is CacheAccessResult.MISS
+
+    def test_reset_counters_keeps_contents(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.reset_counters()
+        assert cache.hits == 0
+        assert cache.lookup(0) is CacheAccessResult.HIT
+
+
+class TestAngleTagging:
+    def test_same_angle_reuses(self):
+        cache = make_cache()
+        threshold = 0.01 * math.pi
+        cache.lookup(0, angle=0.3, angle_threshold=threshold)
+        assert (
+            cache.lookup(0, angle=0.3, angle_threshold=threshold)
+            is CacheAccessResult.HIT
+        )
+
+    def test_angle_within_threshold_reuses(self):
+        cache = make_cache()
+        threshold = 0.05 * math.pi
+        cache.lookup(0, angle=0.30, angle_threshold=threshold)
+        assert (
+            cache.lookup(0, angle=0.32, angle_threshold=threshold)
+            is CacheAccessResult.HIT
+        )
+
+    def test_angle_beyond_threshold_recalculates(self):
+        cache = make_cache()
+        threshold = 0.01 * math.pi
+        cache.lookup(0, angle=0.1, angle_threshold=threshold)
+        result = cache.lookup(0, angle=0.8, angle_threshold=threshold)
+        assert result is CacheAccessResult.ANGLE_MISS
+        assert cache.angle_misses == 1
+
+    def test_angle_miss_updates_stored_angle(self):
+        cache = make_cache()
+        threshold = 0.01 * math.pi
+        cache.lookup(0, angle=0.1, angle_threshold=threshold)
+        cache.lookup(0, angle=0.8, angle_threshold=threshold)  # recalc
+        # Now the stored angle is 0.8: reuse succeeds.
+        assert (
+            cache.lookup(0, angle=0.8, angle_threshold=threshold)
+            is CacheAccessResult.HIT
+        )
+
+    def test_plain_lookup_after_angled_fill(self):
+        cache = make_cache()
+        cache.lookup(0, angle=0.1, angle_threshold=0.05)
+        assert cache.lookup(0) is CacheAccessResult.HIT
+
+    def test_angled_lookup_after_plain_fill_recalculates(self):
+        # A line cached without an angle cannot satisfy an angle-checked
+        # parent-texel fetch.
+        cache = make_cache()
+        cache.lookup(0)
+        result = cache.lookup(0, angle=0.3, angle_threshold=0.05)
+        assert result is CacheAccessResult.ANGLE_MISS
+
+    def test_looser_threshold_fewer_recalcs(self):
+        angles = [0.05 * index for index in range(20)]
+        strict = make_cache()
+        loose = make_cache()
+        for angle in angles:
+            strict.lookup(0, angle=angle, angle_threshold=0.01)
+            loose.lookup(0, angle=angle, angle_threshold=1.0)
+        assert loose.angle_misses < strict.angle_misses
+
+    def test_quantisation_applied_to_stored_angle(self):
+        cache = make_cache()
+        # Two angles closer than half a quantisation step are identical
+        # after quantisation, so they always reuse even at threshold 0.
+        step = (math.pi / 2) / 127
+        cache.lookup(0, angle=10 * step, angle_threshold=0.0)
+        result = cache.lookup(0, angle=10 * step + step / 8, angle_threshold=0.0)
+        assert result is CacheAccessResult.HIT

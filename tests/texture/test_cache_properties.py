@@ -1,0 +1,98 @@
+"""Property-based tests: the texture cache against a reference model.
+
+A miniature reference implementation (plain dict + recency list) checks
+the set-associative LRU cache over arbitrary access sequences generated
+by hypothesis -- the classic model-based test for replacement policies.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.texture.cache import CacheAccessResult, CacheConfig, TextureCache
+
+LINE = 64
+ASSOC = 2
+SETS = 2
+CONFIG = CacheConfig(
+    size_bytes=LINE * ASSOC * SETS, line_bytes=LINE, associativity=ASSOC
+)
+
+
+class ReferenceCache:
+    """Trivially correct set-associative LRU model."""
+
+    def __init__(self) -> None:
+        self.sets = {index: OrderedDict() for index in range(SETS)}
+
+    def access(self, address: int) -> bool:
+        line = address // LINE
+        set_index = line % SETS
+        tag = line // SETS
+        cache_set = self.sets[set_index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return True
+        if len(cache_set) >= ASSOC:
+            cache_set.popitem(last=False)
+        cache_set[tag] = None
+        return False
+
+
+addresses = st.integers(min_value=0, max_value=LINE * 64 - 1)
+
+
+class TestCacheAgainstReference:
+    @settings(max_examples=200, deadline=None)
+    @given(sequence=st.lists(addresses, min_size=1, max_size=200))
+    def test_hit_miss_sequence_matches_reference(self, sequence):
+        cache = TextureCache(CONFIG)
+        reference = ReferenceCache()
+        for address in sequence:
+            expected_hit = reference.access(address)
+            result = cache.lookup(address)
+            assert result.is_hit == expected_hit, (
+                f"divergence at address {address}"
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(sequence=st.lists(addresses, min_size=1, max_size=100))
+    def test_counters_consistent(self, sequence):
+        cache = TextureCache(CONFIG)
+        for address in sequence:
+            cache.lookup(address)
+        assert cache.hits + cache.misses == len(sequence)
+        assert 0.0 <= cache.hit_rate() <= 1.0
+        assert cache.hit_rate() + cache.miss_rate() == 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(sequence=st.lists(addresses, min_size=1, max_size=100))
+    def test_contains_agrees_with_next_lookup(self, sequence):
+        cache = TextureCache(CONFIG)
+        for address in sequence:
+            present = cache.contains(address)
+            result = cache.lookup(address)
+            assert result.is_hit == present
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sequence=st.lists(addresses, min_size=1, max_size=50),
+        angle_a=st.floats(0.0, 1.5),
+        angle_b=st.floats(0.0, 1.5),
+        threshold=st.floats(0.0, 1.6),
+    )
+    def test_angle_policy_never_misclassifies_presence(
+        self, sequence, angle_a, angle_b, threshold
+    ):
+        """An angle mismatch may force recalculation, but only on lines
+        that are actually present (ANGLE_MISS never replaces MISS)."""
+        cache = TextureCache(CONFIG)
+        reference = ReferenceCache()
+        for index, address in enumerate(sequence):
+            angle = angle_a if index % 2 == 0 else angle_b
+            expected_present = reference.access(address)
+            result = cache.lookup(address, angle=angle, angle_threshold=threshold)
+            if result is CacheAccessResult.MISS:
+                assert not expected_present
+            else:
+                assert expected_present

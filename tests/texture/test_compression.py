@@ -1,0 +1,102 @@
+"""Tests for the fixed-rate block texture codec."""
+
+import numpy as np
+import pytest
+
+from repro.quality import psnr
+from repro.texture.compression import (
+    BLOCK,
+    COMPRESSION_RATIO,
+    CompressionStats,
+    compress_image,
+    compressed_line_bytes,
+    decode_block,
+    encode_block,
+)
+
+
+def make_image(seed=0, size=32):
+    rng = np.random.default_rng(seed)
+    image = rng.random((size, size, 4))
+    image[:, :, 3] = 1.0
+    return image
+
+
+class TestBlockCodec:
+    def test_constant_block_roundtrips_exactly(self):
+        block = np.full((BLOCK, BLOCK, 4), 0.3)
+        low, high, indices = encode_block(block)
+        decoded = decode_block(low, high, indices)
+        np.testing.assert_allclose(decoded, block, atol=1e-12)
+
+    def test_two_tone_block_roundtrips_exactly(self):
+        block = np.zeros((BLOCK, BLOCK, 4))
+        block[::2, :, :] = 1.0
+        low, high, indices = encode_block(block)
+        decoded = decode_block(low, high, indices)
+        np.testing.assert_allclose(decoded, block, atol=1e-9)
+
+    def test_gradient_block_bounded_error(self):
+        block = np.linspace(0, 1, BLOCK * BLOCK).reshape(BLOCK, BLOCK, 1)
+        block = np.repeat(block, 4, axis=2)
+        low, high, indices = encode_block(block)
+        decoded = decode_block(low, high, indices)
+        # Four levels across [0,1]: error bounded by half a step.
+        assert np.abs(decoded - block).max() <= 0.5 / 3 + 1e-9
+
+    def test_indices_within_levels(self):
+        _, _, indices = encode_block(make_image(size=BLOCK)[:BLOCK, :BLOCK])
+        assert indices.max() <= 3
+        assert indices.min() >= 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            encode_block(np.zeros((2, 2, 4)))
+        with pytest.raises(ValueError):
+            decode_block(np.zeros(4), np.ones(4), np.zeros(4, dtype=np.uint8))
+
+
+class TestCompressImage:
+    def test_fixed_ratio(self):
+        _, stats = compress_image(make_image())
+        assert stats.ratio == pytest.approx(COMPRESSION_RATIO)
+        assert COMPRESSION_RATIO == 4.0
+
+    def test_lossy_but_high_quality(self):
+        image = make_image()
+        reconstructed, _ = compress_image(image)
+        value = psnr(image, reconstructed)
+        assert 10.0 < value < 99.0  # lossy (random noise is the worst case)
+
+    def test_smooth_image_compresses_well(self):
+        u = np.linspace(0, 1, 32)
+        gx, gy = np.meshgrid(u, u)
+        smooth = np.stack([gx, gy, np.outer(u, u), np.ones((32, 32))], axis=-1)
+        reconstructed, _ = compress_image(smooth)
+        assert psnr(smooth, reconstructed) > 25.0
+
+    def test_output_in_range(self):
+        reconstructed, _ = compress_image(make_image())
+        assert reconstructed.min() >= 0.0
+        assert reconstructed.max() <= 1.0
+
+    def test_deterministic(self):
+        image = make_image(3)
+        a, _ = compress_image(image)
+        b, _ = compress_image(image)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            compress_image(np.zeros((30, 32, 4)))
+        with pytest.raises(ValueError):
+            compress_image(np.zeros((32, 32, 3)))
+
+
+class TestTrafficModel:
+    def test_compressed_line_bytes(self):
+        assert compressed_line_bytes(64) == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compressed_line_bytes(0)

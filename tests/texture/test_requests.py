@@ -1,0 +1,65 @@
+"""Tests for trace record types."""
+
+import pytest
+
+from repro.texture.lod import compute_footprint
+from repro.texture.requests import FragmentTrace, TexelFetch, TextureRequest
+
+
+def make_request(tile_x=0, tile_y=0, texture_id=0):
+    return TextureRequest(
+        pixel_x=1,
+        pixel_y=2,
+        texture_id=texture_id,
+        u=3.0,
+        v=4.0,
+        footprint=compute_footprint(1.0, 0.0, 0.0, 1.0),
+        camera_angle=0.5,
+        tile_x=tile_x,
+        tile_y=tile_y,
+    )
+
+
+class TestTextureRequest:
+    def test_construction(self):
+        request = make_request()
+        assert request.footprint.probes == 1
+
+    def test_negative_texture_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(texture_id=-1)
+
+    def test_negative_angle_rejected(self):
+        with pytest.raises(ValueError):
+            TextureRequest(
+                pixel_x=0, pixel_y=0, texture_id=0, u=0, v=0,
+                footprint=compute_footprint(1, 0, 0, 1), camera_angle=-0.1,
+            )
+
+
+class TestTexelFetch:
+    def test_construction(self):
+        fetch = TexelFetch(texture_id=0, level=2, x=3, y=4, address=128)
+        assert fetch.level == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TexelFetch(texture_id=0, level=-1, x=0, y=0, address=0)
+        with pytest.raises(ValueError):
+            TexelFetch(texture_id=0, level=0, x=0, y=0, address=-1)
+
+
+class TestFragmentTrace:
+    def test_counts(self):
+        trace = FragmentTrace(width=8, height=8, requests=[make_request()] * 3)
+        assert trace.num_fragments == 3
+
+    def test_requests_by_tile(self):
+        requests = [make_request(tile_x=1, tile_y=2)]
+        trace = FragmentTrace(width=64, height=64, requests=requests)
+        pairs = trace.requests_by_tile(tiles_x=4)
+        assert pairs[0][0] == 2 * 4 + 1
+
+    def test_default_tile_size(self):
+        trace = FragmentTrace(width=8, height=8, requests=[])
+        assert trace.tile_size == 16

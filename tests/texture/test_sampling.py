@@ -1,0 +1,215 @@
+"""Tests for the filtering math building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.texture.lod import compute_footprint
+from repro.texture.mipmap import build_mipmaps
+from repro.texture.sampling import (
+    TextureSampler,
+    bilinear_sample,
+    bilinear_taps,
+    child_texel_coords,
+    level_blend_for,
+    parent_texel_coords,
+    probe_offsets,
+    trilinear_sample,
+)
+from repro.texture.texture import Texture
+
+
+def make_chain(size=16, constant=None, seed=5, texture_id=0):
+    if constant is not None:
+        data = np.full((size, size, 4), constant, dtype=np.float64)
+    else:
+        rng = np.random.default_rng(seed)
+        data = rng.random((size, size, 4))
+    return build_mipmaps(Texture(texture_id=texture_id, data=data))
+
+
+def footprint(probes=4, lod=0.5, direction=(1.0, 0.0)):
+    """Build a footprint with a requested probe count and LOD."""
+    minor = 2.0 ** lod
+    major = minor * probes
+    du, dv = direction
+    return compute_footprint(major * du, major * dv, -minor * dv, minor * du)
+
+
+class TestBilinearTaps:
+    def test_weights_sum_to_one(self):
+        taps = bilinear_taps(16, 16, 5.3, 7.8)
+        assert sum(tap.weight for tap in taps) == pytest.approx(1.0)
+
+    def test_texel_centre_hits_single_texel(self):
+        taps = bilinear_taps(16, 16, 5.5, 7.5)
+        weights = sorted((tap.weight for tap in taps), reverse=True)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.0)
+
+    def test_four_taps_form_2x2_quad(self):
+        taps = bilinear_taps(16, 16, 5.0, 7.0)
+        xs = sorted({tap.x for tap in taps})
+        ys = sorted({tap.y for tap in taps})
+        assert xs[1] == xs[0] + 1
+        assert ys[1] == ys[0] + 1
+
+
+class TestLevelBlend:
+    def test_integral_lod_single_level(self):
+        chain = make_chain()
+        blend = level_blend_for(chain, 2.0)
+        assert blend.is_single_level
+        assert blend.level_low == 2
+
+    def test_fractional_lod_two_levels(self):
+        chain = make_chain()
+        blend = level_blend_for(chain, 1.25)
+        assert blend.level_low == 1
+        assert blend.level_high == 2
+        assert blend.weight == pytest.approx(0.25)
+
+    def test_clamped_at_chain_top(self):
+        chain = make_chain(16)  # max level 4
+        blend = level_blend_for(chain, 99.0)
+        assert blend.level_low == chain.max_level
+        assert blend.is_single_level
+
+    def test_negative_lod_clamps_to_zero(self):
+        chain = make_chain()
+        blend = level_blend_for(chain, -3.0)
+        assert blend.level_low == 0
+        assert blend.is_single_level
+
+
+class TestBilinearSample:
+    def test_constant_texture_invariant(self):
+        chain = make_chain(constant=0.25)
+        color = bilinear_sample(chain, 0, 3.7, 9.2)
+        assert np.allclose(color, 0.25)
+
+    def test_interpolates_between_texels(self):
+        data = np.zeros((2, 2, 4))
+        data[0, 1] = 1.0  # texel (1, 0) white
+        chain = build_mipmaps(Texture(texture_id=0, data=data))
+        # Halfway between texel centres (0.5,0.5) and (1.5,0.5).
+        color = bilinear_sample(chain, 0, 1.0, 0.5)
+        assert color[0] == pytest.approx(0.5)
+
+    def test_offset_shifts_fetch(self):
+        chain = make_chain()
+        base = bilinear_sample(chain, 0, 4.5, 4.5)
+        shifted = bilinear_sample(chain, 0, 4.5, 4.5, offset=(1, 0))
+        expected = bilinear_sample(chain, 0, 5.5, 4.5)
+        assert np.allclose(shifted, expected)
+        assert not np.allclose(base, shifted)
+
+
+class TestTrilinearSample:
+    def test_blends_levels(self):
+        chain = make_chain()
+        low = bilinear_sample(chain, 1, 4.5, 4.5)
+        high = bilinear_sample(chain, 2, 4.5, 4.5)
+        mixed = trilinear_sample(chain, 1.5, 4.5, 4.5)
+        assert np.allclose(mixed, 0.5 * (low + high))
+
+    def test_integral_lod_matches_bilinear(self):
+        chain = make_chain()
+        assert np.allclose(
+            trilinear_sample(chain, 1.0, 4.5, 4.5),
+            bilinear_sample(chain, 1, 4.5, 4.5),
+        )
+
+
+class TestProbeOffsets:
+    def test_isotropic_single_zero_offset(self):
+        fp = footprint(probes=1, lod=0.0)
+        assert probe_offsets(fp, 0) == [(0, 0)]
+
+    def test_probe_count_matches_footprint(self):
+        fp = footprint(probes=4)
+        assert len(probe_offsets(fp, 0)) == 4
+
+    def test_offsets_symmetric(self):
+        fp = footprint(probes=4, lod=2.0, direction=(1.0, 0.0))
+        offsets = probe_offsets(fp, 2)
+        total_dx = sum(dx for dx, _ in offsets)
+        total_dy = sum(dy for _, dy in offsets)
+        assert total_dx == 0
+        assert total_dy == 0
+
+    def test_offsets_follow_major_axis(self):
+        fp = footprint(probes=4, lod=1.0, direction=(0.0, 1.0))
+        offsets = probe_offsets(fp, 1)
+        assert all(dx == 0 for dx, _ in offsets)
+        assert any(dy != 0 for _, dy in offsets)
+
+    def test_offsets_shrink_at_coarser_levels(self):
+        fp = footprint(probes=8, lod=1.0)
+        fine_span = max(abs(dx) for dx, _ in probe_offsets(fp, 0))
+        coarse_span = max(abs(dx) for dx, _ in probe_offsets(fp, 4))
+        assert fine_span >= coarse_span
+
+
+class TestParentChildCoords:
+    def test_parent_count_single_level(self):
+        chain = make_chain()
+        parents = parent_texel_coords(chain, 2.0, 5.0, 5.0)
+        assert len(parents) == 4
+
+    def test_parent_count_two_levels(self):
+        chain = make_chain()
+        parents = parent_texel_coords(chain, 1.5, 5.0, 5.0)
+        assert len(parents) == 8
+
+    def test_parent_weights_sum_to_one(self):
+        chain = make_chain()
+        parents = parent_texel_coords(chain, 1.3, 6.2, 3.9)
+        assert sum(w for *_ , w in parents) == pytest.approx(1.0)
+
+    def test_child_count_equals_probes(self):
+        # Fig. 7(B): 4x anisotropic generates 4 children per parent.
+        fp = footprint(probes=4)
+        children = child_texel_coords(fp, 0, 5, 5)
+        assert len(children) == 4
+
+    def test_isotropic_child_is_parent(self):
+        fp = footprint(probes=1, lod=0.0)
+        assert child_texel_coords(fp, 0, 5, 7) == [(5, 7)]
+
+
+class TestTextureSampler:
+    def test_recorded_texels_deduplicated(self):
+        chain = make_chain()
+        sampler = TextureSampler(chain)
+        fp = footprint(probes=2, lod=0.25)
+        result = sampler.sample(fp, 5.0, 5.0, record=True)
+        assert len(result.texels) == len(set(result.texels))
+        assert result.texels  # non-empty
+
+    def test_no_recording_by_default(self):
+        chain = make_chain()
+        sampler = TextureSampler(chain)
+        result = sampler.sample(footprint(), 5.0, 5.0)
+        assert result.texels == []
+
+    def test_fig7_texel_arithmetic(self):
+        # Paper Fig. 7: a 4x anisotropic trilinear lookup touches
+        # 4 probes x 8 taps = 32 texels before deduplication; the
+        # reordered path fetches 8 parents whose children total 32.
+        chain = make_chain(64)
+        sampler = TextureSampler(chain)
+        fp = footprint(probes=4, lod=1.5)
+        parents = parent_texel_coords(chain, fp.lod, 20.0, 20.0)
+        assert len(parents) == 8
+        total_children = sum(
+            len(child_texel_coords(fp, level, x, y))
+            for level, x, y, _ in parents
+        )
+        assert total_children == 32
+
+    def test_isotropic_sampler_matches_trilinear(self):
+        chain = make_chain()
+        sampler = TextureSampler(chain)
+        fp = footprint(probes=4, lod=1.5)
+        iso = sampler.sample_isotropic(fp, 5.0, 5.0)
+        assert np.allclose(iso.color, trilinear_sample(chain, fp.lod, 5.0, 5.0))

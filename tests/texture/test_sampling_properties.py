@@ -1,0 +1,107 @@
+"""Property-based tests for the filtering math (beyond reorder equality)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.texture.lod import compute_footprint
+from repro.texture.mipmap import build_mipmaps
+from repro.texture.sampling import (
+    anisotropic_sample,
+    bilinear_taps,
+    parent_texel_coords,
+    probe_offsets,
+    trilinear_sample,
+)
+from repro.texture.texture import Texture
+
+
+def chain_from_seed(seed: int, size: int = 16):
+    rng = np.random.default_rng(seed)
+    return build_mipmaps(Texture(texture_id=0, data=rng.random((size, size, 4))))
+
+
+footprints = st.builds(
+    compute_footprint,
+    st.floats(-12.0, 12.0),
+    st.floats(-12.0, 12.0),
+    st.floats(-12.0, 12.0),
+    st.floats(-12.0, 12.0),
+)
+
+
+class TestConvexity:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 7),
+        u=st.floats(0.0, 16.0),
+        v=st.floats(0.0, 16.0),
+        footprint=footprints,
+    )
+    def test_filtered_color_within_texture_range(self, seed, u, v, footprint):
+        """Filtering is a convex combination of texels: per channel, the
+        result stays within the mip chain's min/max."""
+        chain = chain_from_seed(seed)
+        lows = np.min(
+            [level.data.min(axis=(0, 1)) for level in chain.levels], axis=0
+        )
+        highs = np.max(
+            [level.data.max(axis=(0, 1)) for level in chain.levels], axis=0
+        )
+        color = anisotropic_sample(chain, footprint, u, v)
+        assert np.all(color >= lows - 1e-9)
+        assert np.all(color <= highs + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        u=st.floats(0.0, 16.0),
+        v=st.floats(0.0, 16.0),
+        lod=st.floats(0.0, 4.0),
+        value=st.floats(0.0, 1.0),
+    )
+    def test_constant_texture_fixed_point(self, u, v, lod, value):
+        """Every filter is the identity on a constant texture."""
+        data = np.full((16, 16, 4), value)
+        chain = build_mipmaps(Texture(texture_id=0, data=data))
+        color = trilinear_sample(chain, lod, u, v)
+        np.testing.assert_allclose(color, value, atol=1e-12)
+
+
+class TestTapAndCoordinateProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(u=st.floats(-32.0, 32.0), v=st.floats(-32.0, 32.0))
+    def test_bilinear_weights_partition_unity(self, u, v):
+        taps = bilinear_taps(16, 16, u, v)
+        assert abs(sum(tap.weight for tap in taps) - 1.0) < 1e-9
+        assert all(tap.weight >= -1e-12 for tap in taps)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 7),
+        u=st.floats(0.0, 16.0),
+        v=st.floats(0.0, 16.0),
+        lod=st.floats(0.0, 5.0),
+    )
+    def test_parent_weights_partition_unity(self, seed, u, v, lod):
+        chain = chain_from_seed(seed)
+        parents = parent_texel_coords(chain, lod, u, v)
+        assert abs(sum(weight for *_, weight in parents) - 1.0) < 1e-9
+        assert len(parents) in (4, 8)
+
+    @settings(max_examples=100, deadline=None)
+    @given(footprint=footprints, level=st.integers(0, 4))
+    def test_probe_offsets_count_and_symmetry(self, footprint, level):
+        offsets = probe_offsets(footprint, level)
+        assert len(offsets) == footprint.probes
+        assert sum(dx for dx, _ in offsets) == 0
+        assert sum(dy for _, dy in offsets) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(footprint=footprints)
+    def test_probe_span_bounded_by_major_axis(self, footprint):
+        """Probes never spread beyond the footprint's major axis length
+        (in level-0 texels, allowing rounding slack)."""
+        offsets = probe_offsets(footprint, 0)
+        span = max(
+            (dx * dx + dy * dy) ** 0.5 for dx, dy in offsets
+        )
+        assert span <= footprint.major_length / 2.0 + 1.0

@@ -1,0 +1,59 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.texture.traceio import load_trace, save_trace
+
+
+class TestTraceIO:
+    def test_roundtrip_preserves_everything(self, tiny_trace, tmp_path):
+        _, trace = tiny_trace
+        path = save_trace(trace, tmp_path / "frame.npz")
+        loaded = load_trace(path)
+        assert loaded.width == trace.width
+        assert loaded.height == trace.height
+        assert loaded.tile_size == trace.tile_size
+        assert loaded.num_fragments == trace.num_fragments
+        for original, restored in zip(trace.requests, loaded.requests):
+            assert restored == original
+
+    def test_roundtrip_drives_identical_simulation(self, tiny_trace, tmp_path,
+                                                   fast_workload):
+        from repro.core import Design, simulate_frame
+
+        scene, trace = tiny_trace
+        path = save_trace(trace, tmp_path / "frame.npz")
+        loaded = load_trace(path)
+        config = fast_workload.design_config(Design.BASELINE)
+        direct = simulate_frame(scene, trace, config)
+        replayed = simulate_frame(scene, loaded, config)
+        assert replayed.frame.frame_cycles == direct.frame.frame_cycles
+        assert replayed.frame.traffic.external_texture == (
+            direct.frame.traffic.external_texture
+        )
+
+    def test_suffix_appended(self, tiny_trace, tmp_path):
+        _, trace = tiny_trace
+        path = save_trace(trace, tmp_path / "frame")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_empty_trace_roundtrips(self, tmp_path):
+        from repro.texture.requests import FragmentTrace
+
+        trace = FragmentTrace(width=4, height=4, requests=[], tile_size=2)
+        path = save_trace(trace, tmp_path / "empty.npz")
+        loaded = load_trace(path)
+        assert loaded.num_fragments == 0
+        assert loaded.tile_size == 2
+
+    def test_version_check(self, tiny_trace, tmp_path):
+        _, trace = tiny_trace
+        path = save_trace(trace, tmp_path / "frame.npz")
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["version"] = np.array([99])
+        np.savez(tmp_path / "bad.npz", **arrays)
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "bad.npz")

@@ -1,0 +1,119 @@
+"""Tests for camera paths and animation factories."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.workloads.animation import (
+    CameraKeyframe,
+    CameraPath,
+    orbit,
+    strafe,
+    walk_forward,
+)
+
+
+def make_camera():
+    return Camera(
+        position=np.array([0.0, 1.0, 5.0]),
+        target=np.array([0.0, 1.0, -10.0]),
+    )
+
+
+class TestCameraPath:
+    def test_pose_interpolates_linearly(self):
+        path = CameraPath([
+            CameraKeyframe(position=(0, 0, 0), target=(0, 0, -1)),
+            CameraKeyframe(position=(10, 0, 0), target=(10, 0, -1)),
+        ])
+        mid = path.pose(0.5)
+        assert mid.position[0] == pytest.approx(5.0)
+        assert mid.target[0] == pytest.approx(5.0)
+
+    def test_endpoints_exact(self):
+        path = CameraPath([
+            CameraKeyframe(position=(0, 0, 0), target=(0, 0, -1)),
+            CameraKeyframe(position=(10, 0, 0), target=(10, 0, -1)),
+        ])
+        assert path.pose(0.0).position[0] == 0.0
+        assert path.pose(1.0).position[0] == 10.0
+
+    def test_multi_segment(self):
+        path = CameraPath([
+            CameraKeyframe(position=(0, 0, 0), target=(0, 0, -1)),
+            CameraKeyframe(position=(4, 0, 0), target=(4, 0, -1)),
+            CameraKeyframe(position=(4, 4, 0), target=(4, 4, -1)),
+        ])
+        assert path.pose(0.75).position[1] == pytest.approx(2.0)
+
+    def test_cameras_count_and_lens(self):
+        path = CameraPath([
+            CameraKeyframe(position=(0, 0, 5), target=(0, 0, 0)),
+            CameraKeyframe(position=(0, 0, 3), target=(0, 0, -2)),
+        ])
+        template = make_camera()
+        cameras = path.cameras(template, 5)
+        assert len(cameras) == 5
+        assert all(camera.fov_y == template.fov_y for camera in cameras)
+
+    def test_single_frame_is_path_start(self):
+        path = CameraPath([
+            CameraKeyframe(position=(0, 0, 5), target=(0, 0, 0)),
+            CameraKeyframe(position=(0, 0, 3), target=(0, 0, -2)),
+        ])
+        cameras = path.cameras(make_camera(), 1)
+        assert np.allclose(cameras[0].position, [0, 0, 5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraPath([CameraKeyframe(position=(0, 0, 0), target=(0, 0, -1))])
+        path = CameraPath([
+            CameraKeyframe(position=(0, 0, 0), target=(0, 0, -1)),
+            CameraKeyframe(position=(1, 0, 0), target=(1, 0, -1)),
+        ])
+        with pytest.raises(ValueError):
+            path.pose(1.5)
+        with pytest.raises(ValueError):
+            path.cameras(make_camera(), 0)
+
+
+class TestPathFactories:
+    def test_walk_forward_moves_along_view(self):
+        camera = make_camera()
+        path = walk_forward(6.0)(camera)
+        end = path.pose(1.0)
+        moved = np.asarray(end.position) - camera.position
+        assert np.dot(moved, camera.forward) == pytest.approx(6.0)
+
+    def test_strafe_is_perpendicular_to_view(self):
+        camera = make_camera()
+        path = strafe(4.0)(camera)
+        start = np.asarray(path.pose(0.0).position)
+        end = np.asarray(path.pose(1.0).position)
+        motion = end - start
+        assert np.linalg.norm(motion) == pytest.approx(4.0)
+        assert abs(np.dot(motion, camera.forward)) < 1e-9
+
+    def test_strafe_keeps_target(self):
+        camera = make_camera()
+        path = strafe(4.0)(camera)
+        assert np.allclose(path.pose(0.0).target, camera.target)
+        assert np.allclose(path.pose(1.0).target, camera.target)
+
+    def test_orbit_preserves_distance(self):
+        camera = make_camera()
+        path = orbit(40.0)(camera)
+        radius = np.linalg.norm(camera.position - camera.target)
+        for t in (0.0, 0.5, 1.0):
+            pose = path.pose(t)
+            distance = np.linalg.norm(
+                np.asarray(pose.position) - np.asarray(pose.target)
+            )
+            assert distance == pytest.approx(radius)
+
+    def test_orbit_changes_position(self):
+        camera = make_camera()
+        path = orbit(40.0)(camera)
+        start = np.asarray(path.pose(0.0).position)
+        end = np.asarray(path.pose(1.0).position)
+        assert not np.allclose(start, end)

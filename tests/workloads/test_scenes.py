@@ -1,0 +1,59 @@
+"""Tests for the procedural scene builders."""
+
+import numpy as np
+import pytest
+
+from repro.render.renderer import Renderer
+from repro.workloads.scenes import SceneStyle, build_scene
+
+
+class TestBuildScene:
+    @pytest.mark.parametrize("style", list(SceneStyle))
+    def test_every_style_builds(self, style):
+        built = build_scene(style, texture_size=64, seed=1)
+        assert built.scene.triangles
+        assert built.scene.textures
+        assert built.camera is not None
+
+    @pytest.mark.parametrize("style", list(SceneStyle))
+    def test_triangles_reference_registered_textures(self, style):
+        built = build_scene(style, texture_size=64, seed=1)
+        for triangle in built.scene.triangles:
+            assert triangle.texture_id in built.scene.textures
+
+    @pytest.mark.parametrize("style", list(SceneStyle))
+    def test_rasterizes_to_fragments(self, style):
+        built = build_scene(style, texture_size=64, seed=1)
+        renderer = Renderer(width=32, height=24, tile_size=4)
+        output = renderer.trace_only(built.scene, built.camera)
+        # Every archetype should fill a majority of the frame.
+        assert output.trace.num_fragments > 0.5 * 32 * 24
+
+    def test_deterministic(self):
+        a = build_scene(SceneStyle.CORRIDOR, texture_size=64, seed=5)
+        b = build_scene(SceneStyle.CORRIDOR, texture_size=64, seed=5)
+        for texture_id in a.scene.textures:
+            np.testing.assert_array_equal(
+                a.scene.textures[texture_id].data,
+                b.scene.textures[texture_id].data,
+            )
+
+    def test_terrain_is_most_anisotropic(self):
+        def max_probes(style):
+            built = build_scene(style, texture_size=64, seed=1)
+            renderer = Renderer(width=32, height=24, max_anisotropy=16)
+            output = renderer.trace_only(built.scene, built.camera)
+            return max(
+                request.footprint.probes for request in output.trace.requests
+            )
+
+        assert max_probes(SceneStyle.TERRAIN) >= max_probes(SceneStyle.CHAMBER)
+
+    def test_texture_size_respected(self):
+        built = build_scene(SceneStyle.ARENA, texture_size=128, seed=1)
+        for texture in built.scene.textures.values():
+            assert texture.width == 128
+
+    def test_tiny_texture_rejected(self):
+        with pytest.raises(ValueError):
+            build_scene(SceneStyle.ARENA, texture_size=8)
