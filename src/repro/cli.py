@@ -12,6 +12,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -128,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="HPCA'17 PIM-enabled GPU 3D rendering reproduction",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="validate every simulated frame against the conservation "
+        "invariants of repro.analysis.invariants (exits with a traceback "
+        "on the first violation)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads").set_defaults(func=_cmd_list)
@@ -165,7 +173,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if not args.check_invariants:
+        return args.func(args)
+    # Thread the flag through every simulation layer (runner, report,
+    # sequence) via the environment switch the frontend consults.
+    from repro.analysis.invariants import ENV_FLAG
+
+    previous = os.environ.get(ENV_FLAG)
+    os.environ[ENV_FLAG] = "1"
+    try:
+        return args.func(args)
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_FLAG, None)
+        else:
+            os.environ[ENV_FLAG] = previous
 
 
 if __name__ == "__main__":

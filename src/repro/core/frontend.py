@@ -70,12 +70,29 @@ class DesignRun:
         return self.frame.traffic.external_total
 
 
+def _resolve_check_invariants(check_invariants: Optional[bool]) -> bool:
+    """``None`` defers to the REPRO_CHECK_INVARIANTS environment flag."""
+    if check_invariants is not None:
+        return check_invariants
+    from repro.analysis.invariants import checks_enabled
+
+    return checks_enabled()
+
+
+def _check_run_invariants(run: "DesignRun") -> None:
+    """Validate a drained run; raises InvariantError on violations."""
+    from repro.analysis.invariants import check_run
+
+    check_run(run, raise_on_violation=True)
+
+
 def simulate_frame(
     scene: Scene,
     trace: FragmentTrace,
     config: DesignConfig,
     address_map: Optional[TexelAddressMap] = None,
     warmup: bool = True,
+    check_invariants: Optional[bool] = None,
 ) -> DesignRun:
     """Simulate one frame of ``trace`` under ``config``.
 
@@ -88,6 +105,10 @@ def simulate_frame(
     texture caches before the measured replay, modelling the steady state
     of a running game.  Without it, compulsory misses -- hugely inflated
     at our scaled-down frame sizes -- dominate every design's miss rate.
+
+    ``check_invariants`` validates the drained frame against the
+    conservation invariants of :mod:`repro.analysis.invariants`; ``None``
+    defers to the ``REPRO_CHECK_INVARIANTS`` environment flag.
     """
     traffic = TrafficMeter()
     expander = RequestExpander(scene, address_map)
@@ -110,7 +131,10 @@ def simulate_frame(
         num_vertices=scene.num_vertices,
         external_bytes_per_cycle=config.external_bytes_per_cycle,
     )
-    return DesignRun(config=config, frame=frame, path=path)
+    run = DesignRun(config=config, frame=frame, path=path)
+    if _resolve_check_invariants(check_invariants):
+        _check_run_invariants(run)
+    return run
 
 
 @dataclass
@@ -149,6 +173,7 @@ def simulate_sequence(
     traces: Sequence[FragmentTrace],
     config: DesignConfig,
     address_map: Optional[TexelAddressMap] = None,
+    check_invariants: Optional[bool] = None,
 ) -> SequenceResult:
     """Simulate a sequence of frames with persistent texture caches.
 
@@ -160,6 +185,7 @@ def simulate_sequence(
     """
     if not traces:
         raise ValueError("a sequence needs at least one frame")
+    checking = _resolve_check_invariants(check_invariants)
     traffic = TrafficMeter()
     expander = RequestExpander(scene, address_map)
     path = make_texture_path(config, traffic)
@@ -185,6 +211,10 @@ def simulate_sequence(
         # Attribute this frame's traffic and hand the frame its own meter.
         frame.traffic = traffic.since(before)
         frames.append(frame)
+        if checking:
+            # Drain-time check: the path's counters still describe this
+            # frame (they are reset just below for the next one).
+            _check_run_invariants(DesignRun(config=config, frame=frame, path=path))
         # Fresh clocks and counters for the next frame; caches persist.
         path.reset_for_measurement()
     return SequenceResult(config=config, frames=frames, path=path)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import abc
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.designs import DesignConfig
 from repro.core.expansion import ExpandedRequest
@@ -26,7 +26,7 @@ from repro.sim.resources import BandwidthServer
 from repro.texture.cache import CacheAccessResult, TextureCache
 
 
-def make_hmc(config: DesignConfig):
+def make_hmc(config: DesignConfig) -> Union[HybridMemoryCube, MultiCubeMemory]:
     """Instantiate the HMC side of a design: one cube or several.
 
     Returns an object with the single-cube interface (``send_request``,

@@ -112,9 +112,12 @@ def write_report(
     include_ablations: bool = True,
 ) -> Path:
     """Generate and write the report; return the output path."""
-    started = time.time()
+    # Timing the report generator itself (not simulated time) is the one
+    # legitimate wall-clock read in the package; the elapsed note below
+    # is informational and excluded from every measured quantity.
+    started = time.time()  # repro: noqa(REP102) -- wall-clock timing of report generation, not sim time
     text = generate(workload_names, include_quality, include_ablations)
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro: noqa(REP102) -- wall-clock timing of report generation, not sim time
     text += f"\n---\nGenerated in {elapsed:.0f} s.\n"
     output = Path(path)
     output.write_text(text)

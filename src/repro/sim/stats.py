@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 
 @dataclass
@@ -46,8 +46,40 @@ class Accumulator:
             return 0.0
         return self.total / self.count
 
+    @property
+    def minimum_or_none(self) -> Optional[float]:
+        """The observed minimum, or ``None`` before any sample.
+
+        The raw ``minimum`` field is the +inf identity element until the
+        first observation; reports must use this accessor so that empty
+        accumulators serialize as ``null`` instead of leaking ``inf``
+        into JSON (which json.dumps renders as the non-standard
+        ``Infinity``).
+        """
+        return self.minimum if self.count else None
+
+    @property
+    def maximum_or_none(self) -> Optional[float]:
+        """The observed maximum, or ``None`` before any sample."""
+        return self.maximum if self.count else None
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """JSON-safe summary; empty accumulators report null bounds."""
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum_or_none,
+            "max": self.maximum_or_none,
+        }
+
     def merge(self, other: "Accumulator") -> None:
-        """Fold another accumulator's samples into this one."""
+        """Fold another accumulator's samples into this one.
+
+        Merging an empty accumulator (in either direction) is a no-op on
+        the bounds: the +/-inf identity fields never contaminate the
+        merged minimum/maximum.
+        """
         self.count += other.count
         self.total += other.total
         if other.count:
@@ -97,7 +129,9 @@ class StatGroup:
         """Yield ``(dotted.path, value)`` pairs for the whole subtree.
 
         Accumulators contribute their mean under ``<name>.mean`` plus the
-        sample count under ``<name>.count``.
+        sample count under ``<name>.count``; non-empty accumulators also
+        contribute ``<name>.min`` / ``<name>.max`` (empty ones omit them
+        rather than emitting the +/-inf identity values).
         """
         base = f"{prefix}{self.name}"
         for counter in self._counters.values():
@@ -105,6 +139,9 @@ class StatGroup:
         for acc in self._accumulators.values():
             yield f"{base}.{acc.name}.mean", acc.mean
             yield f"{base}.{acc.name}.count", float(acc.count)
+            if acc.count:
+                yield f"{base}.{acc.name}.min", acc.minimum
+                yield f"{base}.{acc.name}.max", acc.maximum
         for child in self._children.values():
             yield from child.flatten(prefix=f"{base}.")
 

@@ -27,7 +27,7 @@ def save_trace(trace: FragmentTrace, path: Union[str, Path]) -> Path:
     requests = trace.requests
     count = len(requests)
 
-    def field(name: str, dtype) -> np.ndarray:
+    def field(name: str, dtype: type) -> np.ndarray:
         return np.fromiter(
             (getattr(request, name) for request in requests),
             dtype=dtype,

@@ -7,9 +7,16 @@ design runs) so the suite stays fast while many tests share them.
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 import pytest
+
+# Every frame simulated by the suite is validated against the runtime
+# conservation invariants (repro.analysis.invariants).  Set before any
+# repro import so session-scoped fixtures are covered too; respects an
+# explicit REPRO_CHECK_INVARIANTS=0 from the caller.
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
 
 from repro.core import Design, simulate_frame
 from repro.render.camera import Camera

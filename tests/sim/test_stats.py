@@ -55,6 +55,48 @@ class TestAccumulator:
         assert left.minimum == 1.0
         assert left.maximum == 1.0
 
+    def test_merge_two_empties_reports_none_bounds(self):
+        left = Accumulator("lat")
+        left.merge(Accumulator("lat"))
+        assert left.count == 0
+        assert left.minimum_or_none is None
+        assert left.maximum_or_none is None
+
+    def test_merge_into_empty_adopts_other_bounds(self):
+        left = Accumulator("lat")
+        right = Accumulator("lat")
+        right.observe(2.0)
+        right.observe(8.0)
+        left.merge(right)
+        assert left.minimum == 2.0
+        assert left.maximum == 8.0
+
+    def test_empty_as_dict_is_json_safe(self):
+        import json
+
+        acc = Accumulator("lat")
+        payload = acc.as_dict()
+        assert payload["min"] is None
+        assert payload["max"] is None
+        # Would raise on inf with allow_nan=False; the whole point.
+        encoded = json.loads(json.dumps(payload, allow_nan=False))
+        assert encoded["count"] == 0.0
+
+    def test_reset_then_report_none_bounds(self):
+        acc = Accumulator("lat")
+        acc.observe(3.0)
+        acc.reset()
+        assert acc.minimum_or_none is None
+        assert acc.maximum_or_none is None
+
+    def test_populated_as_dict_has_bounds(self):
+        acc = Accumulator("lat")
+        acc.observe(1.0)
+        acc.observe(5.0)
+        payload = acc.as_dict()
+        assert payload["min"] == 1.0
+        assert payload["max"] == 5.0
+
     def test_reset(self):
         acc = Accumulator("lat")
         acc.observe(9.0)
@@ -79,6 +121,16 @@ class TestStatGroup:
         assert flat["gpu.tex.hits"] == 10.0
         assert flat["gpu.tex.lat.mean"] == 4.0
         assert flat["gpu.tex.lat.count"] == 1.0
+        assert flat["gpu.tex.lat.min"] == 4.0
+        assert flat["gpu.tex.lat.max"] == 4.0
+
+    def test_flatten_empty_accumulator_omits_bounds(self):
+        root = StatGroup("gpu")
+        root.accumulator("lat")
+        flat = root.as_dict()
+        assert flat["gpu.lat.count"] == 0.0
+        assert "gpu.lat.min" not in flat
+        assert "gpu.lat.max" not in flat
 
     def test_nested_children(self):
         root = StatGroup("a")
