@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test check rules invariants
+.PHONY: lint lint-units lint-sarif test check rules invariants
 
 lint:
 	$(PYTHON) -m repro.analysis lint
+
+lint-units:
+	$(PYTHON) -m repro.analysis lint --select REP2
+
+lint-sarif:
+	$(PYTHON) -m repro.analysis lint --format sarif --output lint-results.sarif
 
 rules:
 	$(PYTHON) -m repro.analysis rules

@@ -19,9 +19,17 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.linter import Linter
-from repro.analysis.rules import DEFAULT_RULES, describe_rules
+from repro.analysis.rules import DEFAULT_RULES, describe_rules, rule_catalog
+from repro.analysis.sarif import findings_to_sarif
 
 DEFAULT_LINT_TARGETS = ("src", "benchmarks", "tests", "examples")
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -44,16 +52,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
             return 2
     findings = Linter(DEFAULT_RULES).lint_paths(targets)
+    if args.select:
+        prefixes = tuple(args.select)
+        known = [
+            rule_id
+            for rule_id, _name, _description in rule_catalog()
+            if rule_id.startswith(prefixes)
+        ]
+        if not known:
+            print(
+                f"--select {' '.join(args.select)} matches no known rule IDs",
+                file=sys.stderr,
+            )
+            return 2
+        findings = [f for f in findings if f.rule_id.startswith(prefixes)]
     if args.format == "json":
-        print(json.dumps([finding.as_dict() for finding in findings], indent=2))
+        _emit(
+            json.dumps([finding.as_dict() for finding in findings], indent=2),
+            args.output,
+        )
+    elif args.format == "sarif":
+        _emit(
+            json.dumps(findings_to_sarif(findings, rule_catalog()), indent=2),
+            args.output,
+        )
     else:
-        for finding in findings:
-            print(finding.format())
+        lines = [finding.format() for finding in findings]
         scanned = ", ".join(str(target) for target in targets)
         if findings:
-            print(f"{len(findings)} finding(s) in {scanned}")
+            lines.append(f"{len(findings)} finding(s) in {scanned}")
         else:
-            print(f"clean: no findings in {scanned}")
+            lines.append(f"clean: no findings in {scanned}")
+        _emit("\n".join(lines), args.output)
     return 1 if findings else 0
 
 
@@ -84,7 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src benchmarks "
                            "tests examples)")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
+    lint.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="PREFIX",
+        action="append",
+        help="only report rule IDs starting with PREFIX "
+             "(repeatable; e.g. --select REP2 for the unit rules)",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     rules = sub.add_parser("rules", help="list lint rule IDs")

@@ -49,13 +49,23 @@ class LintContext:
         return any(f"src/repro/{name}/" in self.path for name in names)
 
     def report(self, rule: "LintRule", node: ast.AST, message: str) -> None:
+        self.report_id(rule.rule_id, node, message)
+
+    def report_id(self, rule_id: str, node: ast.AST, message: str) -> None:
+        """Report a finding under an explicit rule ID.
+
+        Multi-rule engines (the REP200-series unit pass emits eight IDs
+        from one walk) report through this entry point; the per-line
+        ``noqa`` suppression applies per ID exactly as for single-ID
+        rules.
+        """
         line = getattr(node, "lineno", 1)
         column = getattr(node, "col_offset", 0) + 1
-        if rule.rule_id in self.noqa.get(line, set()):
+        if rule_id in self.noqa.get(line, set()):
             return
         self.findings.append(
             Finding(
-                rule_id=rule.rule_id,
+                rule_id=rule_id,
                 path=self.path,
                 line=line,
                 column=column,
@@ -80,6 +90,14 @@ class LintRule:
     def applies_to(self, ctx: LintContext) -> bool:
         """Whether this rule runs on the given file at all."""
         return True
+
+    def prepare(self, sources: Sequence[Tuple[str, str]]) -> None:
+        """Observe the whole ``(path, source)`` batch before any check.
+
+        Cross-file rules (call-graph-aware passes) override this to
+        build shared symbol tables; the default is a no-op.  The linter
+        calls it once per lint run with every file in the batch.
+        """
 
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         """Inspect one node; call ``ctx.report`` on violations."""
@@ -109,6 +127,14 @@ class Linter:
 
     def lint_source(self, source: str, path: str) -> List[Finding]:
         """Lint one already-read source text against all rules."""
+        self._prepare([(path, source)])
+        return self._lint_prepared(source, path)
+
+    def _prepare(self, sources: Sequence[Tuple[str, str]]) -> None:
+        for rule in self.rules:
+            rule.prepare(sources)
+
+    def _lint_prepared(self, source: str, path: str) -> List[Finding]:
         ctx = LintContext(path, source)
         try:
             tree = ast.parse(source, filename=path)
@@ -138,10 +164,20 @@ class Linter:
         return self.lint_source(source, str(path))
 
     def lint_paths(self, paths: Iterable[Path]) -> List[Finding]:
-        """Lint every ``*.py`` file under the given files/directories."""
+        """Lint every ``*.py`` file under the given files/directories.
+
+        The whole batch is read first and handed to every rule's
+        :meth:`LintRule.prepare`, so cross-file passes see the complete
+        fileset before any per-file check runs.
+        """
+        sources = [
+            (str(path), path.read_text(encoding="utf-8"))
+            for path in _expand(paths)
+        ]
+        self._prepare(sources)
         findings: List[Finding] = []
-        for path in _expand(paths):
-            findings.extend(self.lint_file(path))
+        for path, source in sources:
+            findings.extend(self._lint_prepared(source, path))
         return findings
 
 

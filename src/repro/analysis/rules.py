@@ -11,6 +11,11 @@ Rule IDs are stable and gate-able:
 * ``REP106`` — float equality comparison on cycle/energy quantities.
 * ``REP107`` — public function in ``core``/``memory``/``texture`` missing
   type annotations.
+
+The REP200-series unit-aware dataflow rules (``bytes + cycles``,
+degree/radian confusion, untagged public quantities, ...) live in
+:mod:`repro.analysis.units` and are registered here alongside the
+syntactic rules.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import ast
 from typing import List, Optional, Tuple
 
 from repro.analysis.linter import LintContext, LintRule
+from repro.analysis.units import UNIT_RULE_TABLE, UnitDataflowRule, unit_rule_ids
 
 # ---------------------------------------------------------------------------
 # REP101 — statistics must be mutated through their own methods.
@@ -388,17 +394,46 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     SwallowedExceptionRule(),
     FloatEqualityRule(),
     PublicAnnotationRule(),
+    UnitDataflowRule(),
 )
 
 
 def rule_ids() -> List[str]:
-    """The stable IDs of all default rules (excluding REP100)."""
-    return [rule.rule_id for rule in DEFAULT_RULES]
+    """The stable IDs of all default rules (excluding REP100).
+
+    The unit dataflow engine is one rule object but owns the eight
+    REP200-series IDs; they are all listed here.
+    """
+    ids = [
+        rule.rule_id
+        for rule in DEFAULT_RULES
+        if not isinstance(rule, UnitDataflowRule)
+    ]
+    ids.extend(unit_rule_ids())
+    return ids
+
+
+def rule_catalog() -> List[Tuple[str, str, str]]:
+    """``(rule_id, name, description)`` for every reportable rule.
+
+    Includes REP100 (emitted by the engine on syntax errors) and the
+    REP200-series IDs owned by the unit dataflow engine; used by the
+    rule listing and the SARIF serializer.
+    """
+    catalog: List[Tuple[str, str, str]] = [
+        ("REP100", "syntax-error", "file does not parse")
+    ]
+    for rule in DEFAULT_RULES:
+        if isinstance(rule, UnitDataflowRule):
+            continue
+        catalog.append((rule.rule_id, rule.name, rule.description))
+    catalog.extend(UNIT_RULE_TABLE)
+    return catalog
 
 
 def describe_rules() -> str:
     """A one-line-per-rule listing for ``repro-lint --rules``."""
-    lines = ["REP100 syntax-error       file does not parse"]
-    for rule in DEFAULT_RULES:
-        lines.append(f"{rule.rule_id} {rule.name:19s} {rule.description}")
-    return "\n".join(lines)
+    return "\n".join(
+        f"{rule_id} {name:19s} {description}"
+        for rule_id, name, description in rule_catalog()
+    )

@@ -1,0 +1,1101 @@
+"""Unit-aware dataflow lint pass: rules REP200-REP207.
+
+Where the REP100-series rules are purely syntactic, this pass *infers a
+physical unit* for every name, attribute, parameter, return value and
+expression it can, then checks the arithmetic:
+
+* ``REP200`` -- ``+``/``-`` between incompatible units (``bytes + cycles``).
+* ``REP201`` -- ordering/equality comparisons (and ``min``/``max``/
+  ``math.isclose``) between incompatible units.
+* ``REP202`` -- dimensionally meaningless products (``bytes * bytes_per_cycle``).
+* ``REP203`` -- dimensionally meaningless quotients (``cycles / bytes``).
+* ``REP204`` -- degree/radian confusion: mixing the two in arithmetic,
+  passing degrees to ``math.sin``/``cos``/``tan``/``atan2``, or
+  double-converting (``math.radians`` of a radians value).
+* ``REP205`` -- a *public* quantity (parameter, return, dataclass field)
+  in ``sim/``, ``memory/``, ``core/``, ``energy/`` or ``texture/`` whose
+  name implies a unit but whose annotation is not a :mod:`repro.units`
+  alias.
+* ``REP206`` -- a call argument whose unit contradicts the callee's
+  declared parameter unit (also covers ``Stats`` counters/histograms
+  created with a unit-implying name and fed the wrong quantity).
+* ``REP207`` -- a value assigned or returned whose inferred unit
+  contradicts the target's declared or name-implied unit.
+
+Inference is deliberately conservative: a finding is emitted only when
+*both* sides of an operation have a known unit and the combination is
+wrong.  Unknown stays unknown and silent.
+
+The pass is **call-graph aware**: :meth:`UnitDataflowRule.prepare`
+harvests every function/method signature, property and annotated field
+in the linted fileset into a :class:`ProjectSymbols` table first, so a
+``BandwidthServer.access(arrival: Cycles, nbytes: Bytes)`` signature in
+``sim/resources.py`` checks call sites in ``memory/hmc.py``.
+
+Seeding comes from :mod:`repro.units`: the alias vocabulary
+(``Cycles``, ``Bytes``, ...), the name-heuristic table
+(``*_cycles``, ``nbytes``, ``energy_pj``, ``angle_deg``, ...) and the
+dimensional algebra (``Cycles * BytesPerCycle -> Bytes``).
+
+Findings use the shared ``# repro: noqa(REP20x)`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.linter import LintContext, LintRule
+from repro.units import (
+    ANGLE_UNITS,
+    SCALAR,
+    UNIT_ALIASES,
+    U_DEGREES,
+    U_RADIANS,
+    add_units,
+    addable,
+    divide_units,
+    multiply_units,
+    unit_for_name,
+)
+
+UNIT_RULE_TABLE: Tuple[Tuple[str, str, str], ...] = (
+    ("REP200", "unit-mismatch-arith",
+     "no +/- between incompatible units (e.g. bytes + cycles)"),
+    ("REP201", "unit-mismatch-compare",
+     "no comparisons/min/max/isclose between incompatible units"),
+    ("REP202", "dimension-wrong-mul",
+     "no products without a meaningful unit (e.g. bytes * bytes_per_cycle)"),
+    ("REP203", "dimension-wrong-div",
+     "no quotients without a meaningful unit (e.g. cycles / bytes)"),
+    ("REP204", "angle-confusion",
+     "no degree/radian mixing, trig on degrees, or double conversion"),
+    ("REP205", "untagged-quantity",
+     "public quantities in sim/memory/core/energy/texture carry repro.units aliases"),
+    ("REP206", "call-unit-mismatch",
+     "no call arguments contradicting the callee's declared parameter unit"),
+    ("REP207", "declared-unit-mismatch",
+     "no assigned/returned value contradicting the declared or name-implied unit"),
+)
+
+_UNTAGGED_SUBPACKAGES = ("sim", "memory", "core", "energy", "texture")
+
+# Internal sentinel distinguishing "several declarations disagree" from
+# "never declared" in the attribute table.
+_CONFLICT = "<conflict>"
+
+_STAT_CLASSES = frozenset({"Counter", "Accumulator", "LatencyHistogram"})
+_STAT_FACTORIES = frozenset({"counter", "accumulator"})
+_STAT_FEED_METHODS = frozenset({"add", "observe"})
+
+_TRIG_EXPECTS_RADIANS = frozenset({"sin", "cos", "tan", "asin", "acos",
+                                   "atan", "atan2", "sinh", "cosh", "tanh"})
+_TRIG_RETURNS_RADIANS = frozenset({"asin", "acos", "atan", "atan2"})
+_UNIT_PRESERVING_BUILTINS = frozenset({"abs", "round", "float", "int"})
+
+
+# ---------------------------------------------------------------------------
+# Annotation parsing.
+# ---------------------------------------------------------------------------
+
+
+def _annotation_unit(node: Optional[ast.expr]) -> Optional[str]:
+    """The unit tag named by an annotation expression, if any.
+
+    Understands bare aliases (``Cycles``), dotted aliases
+    (``units.Cycles``), string annotations, ``Optional[X]``,
+    ``X | None`` and single-alias ``Union``\\ s.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return UNIT_ALIASES.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return UNIT_ALIASES.get(node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return None
+        return _annotation_unit(parsed.body)
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if base_name in ("Optional", "Final", "Annotated", "ClassVar"):
+            inner = node.slice
+            if base_name == "Annotated" and isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return _annotation_unit(inner)
+        if base_name == "Union" and isinstance(node.slice, ast.Tuple):
+            units = {_annotation_unit(item) for item in node.slice.elts}
+            units.discard(None)
+            if len(units) == 1:
+                return units.pop()
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        units = {_annotation_unit(node.left), _annotation_unit(node.right)}
+        units.discard(None)
+        if len(units) == 1:
+            return units.pop()
+    return None
+
+
+def _container_value_unit(node: Optional[ast.expr]) -> Optional[str]:
+    """The element/value unit of a container annotation, if any.
+
+    ``Dict[K, Bytes]`` / ``Mapping[K, Bytes]`` -> bytes;
+    ``List[Cycles]`` / ``Sequence[Cycles]`` / ``Tuple[Cycles, ...]`` ->
+    cycles.
+    """
+    if not isinstance(node, ast.Subscript):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                return None
+            return _container_value_unit(parsed.body)
+        return None
+    base = node.value
+    base_name = base.id if isinstance(base, ast.Name) else (
+        base.attr if isinstance(base, ast.Attribute) else None
+    )
+    if base_name in ("Dict", "dict", "Mapping", "MutableMapping", "DefaultDict"):
+        if isinstance(node.slice, ast.Tuple) and len(node.slice.elts) == 2:
+            return _annotation_unit(node.slice.elts[1])
+        return None
+    if base_name in ("List", "list", "Sequence", "Iterable", "Iterator",
+                     "Set", "FrozenSet", "frozenset", "set", "Tuple", "tuple"):
+        inner = node.slice
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            inner = inner.elts[0]
+        return _annotation_unit(inner)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Project-wide symbol harvesting (the call-graph-aware part).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Signature:
+    """Merged unit signature of all same-named functions in the fileset."""
+
+    positional: List[Optional[str]] = field(default_factory=list)
+    by_name: Dict[str, Optional[str]] = field(default_factory=dict)
+    returns: Optional[str] = None
+    seen: int = 0
+
+
+class ProjectSymbols:
+    """Unit knowledge shared across the whole linted fileset.
+
+    Same-named functions/methods and same-named attributes from
+    different classes are merged conservatively: any disagreement drops
+    the conflicting entry to *unknown* rather than guessing.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, _Signature] = {}
+        self.attributes: Dict[str, str] = {}
+        self.attribute_containers: Dict[str, str] = {}
+        self.constants: Dict[str, str] = {}
+        self.constant_containers: Dict[str, str] = {}
+
+    # -- harvesting ---------------------------------------------------------
+
+    def harvest_module(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(stmt, method=False)
+            elif isinstance(stmt, ast.ClassDef):
+                self._harvest_class(stmt)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                self._add_constant(stmt.target.id, stmt.annotation)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._add_constant(target.id, None)
+
+    def _harvest_class(self, cls: ast.ClassDef) -> None:
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                decorators = {
+                    d.id if isinstance(d, ast.Name) else
+                    (d.attr if isinstance(d, ast.Attribute) else None)
+                    for d in stmt.decorator_list
+                }
+                if "property" in decorators or "cached_property" in decorators:
+                    unit = _annotation_unit(stmt.returns) or unit_for_name(stmt.name)
+                    self._add_attribute(stmt.name, unit)
+                else:
+                    self._add_function(stmt, method=True)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                unit = _annotation_unit(stmt.annotation) or unit_for_name(name)
+                self._add_attribute(name, unit)
+                value_unit = _container_value_unit(stmt.annotation)
+                if value_unit is not None:
+                    existing = self.attribute_containers.get(name)
+                    if existing is None:
+                        self.attribute_containers[name] = value_unit
+                    elif existing != value_unit:
+                        self.attribute_containers[name] = _CONFLICT
+
+    def _add_function(self, node: ast.FunctionDef, method: bool) -> None:
+        params: List[Tuple[str, Optional[str]]] = []
+        args = node.args
+        ordered = [*args.posonlyargs, *args.args]
+        if method and ordered and ordered[0].arg in ("self", "cls"):
+            ordered = ordered[1:]
+        for arg in ordered:
+            unit = _annotation_unit(arg.annotation) or unit_for_name(arg.arg)
+            params.append((arg.arg, unit))
+        kwonly = [
+            (arg.arg, _annotation_unit(arg.annotation) or unit_for_name(arg.arg))
+            for arg in args.kwonlyargs
+        ]
+        returns = _annotation_unit(node.returns) or unit_for_name(node.name)
+
+        sig = self.functions.setdefault(node.name, _Signature())
+        positional_units = [unit for _, unit in params]
+        if sig.seen == 0:
+            sig.positional = positional_units
+            sig.returns = returns
+        else:
+            merged: List[Optional[str]] = []
+            for index in range(max(len(sig.positional), len(positional_units))):
+                left = sig.positional[index] if index < len(sig.positional) else None
+                right = (
+                    positional_units[index]
+                    if index < len(positional_units) else None
+                )
+                merged.append(left if left == right else None)
+            sig.positional = merged
+            if sig.returns != returns:
+                sig.returns = None
+        for name, unit in [*params, *kwonly]:
+            if name not in sig.by_name:
+                sig.by_name[name] = unit
+            elif sig.by_name[name] != unit:
+                sig.by_name[name] = None
+        sig.seen += 1
+
+    def _add_attribute(self, name: str, unit: Optional[str]) -> None:
+        if unit is None:
+            return  # no opinion: neither confirms nor conflicts
+        existing = self.attributes.get(name)
+        if existing is None:
+            self.attributes[name] = unit
+        elif existing != unit:
+            self.attributes[name] = _CONFLICT
+
+    def _add_constant(self, name: str, annotation: Optional[ast.expr]) -> None:
+        unit = _annotation_unit(annotation) or unit_for_name(name)
+        if unit is None:
+            return
+        existing = self.constants.get(name)
+        if existing is None:
+            self.constants[name] = unit
+        elif existing != unit:
+            self.constants[name] = _CONFLICT
+        value_unit = _container_value_unit(annotation)
+        if value_unit is not None:
+            self.constant_containers.setdefault(name, value_unit)
+
+    # -- lookups ------------------------------------------------------------
+
+    def attribute_unit(self, name: str) -> Optional[str]:
+        unit = self.attributes.get(name)
+        if unit == _CONFLICT:
+            return None
+        if unit is not None:
+            return unit
+        return unit_for_name(name)
+
+    def attribute_container_unit(self, name: str) -> Optional[str]:
+        unit = self.attribute_containers.get(name)
+        return None if unit == _CONFLICT else unit
+
+    def constant_unit(self, name: str) -> Optional[str]:
+        unit = self.constants.get(name)
+        return None if unit == _CONFLICT else unit
+
+    def signature(self, name: str) -> Optional[_Signature]:
+        return self.functions.get(name)
+
+
+def harvest_symbols(sources: Iterable[Tuple[str, str]]) -> ProjectSymbols:
+    """Build the shared symbol table from ``(path, source)`` pairs."""
+    symbols = ProjectSymbols()
+    for path, text in sources:
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError:
+            continue  # REP100 reports it; nothing to harvest
+        symbols.harvest_module(tree)
+    return symbols
+
+
+# ---------------------------------------------------------------------------
+# The dataflow checker.
+# ---------------------------------------------------------------------------
+
+
+class _FunctionChecker:
+    """Intraprocedural unit inference over one function (or module) body."""
+
+    def __init__(
+        self,
+        rule: "UnitDataflowRule",
+        ctx: LintContext,
+        symbols: ProjectSymbols,
+        env: Dict[str, Optional[str]],
+        return_unit: Optional[str] = None,
+        return_label: str = "",
+    ) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.symbols = symbols
+        self.env = env
+        self.stat_env: Dict[str, str] = {}
+        self.return_unit = return_unit
+        self.return_label = return_label
+
+    # -- reporting ----------------------------------------------------------
+
+    def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.rule.report_as(rule_id, self.ctx, node, message)
+
+    def _report_pair(
+        self, node: ast.AST, left: str, right: str, context: str,
+        rule_id: str,
+    ) -> None:
+        """Report a unit clash, upgrading degree/radian pairs to REP204."""
+        if {left, right} == ANGLE_UNITS:
+            self._report(
+                "REP204", node,
+                f"degree/radian confusion in {context}: "
+                f"'{left}' vs '{right}'",
+            )
+        else:
+            self._report(
+                rule_id, node,
+                f"incompatible units in {context}: '{left}' vs '{right}'",
+            )
+
+    # -- name/unit resolution ----------------------------------------------
+
+    def _name_unit(self, name: str) -> Optional[str]:
+        if name in self.env:
+            return self.env[name]
+        const = self.symbols.constant_unit(name)
+        if const is not None:
+            return const
+        return unit_for_name(name)
+
+    def _target_declared_unit(self, target: ast.expr) -> Optional[str]:
+        """The unit a store target is *declared or named* to hold."""
+        if isinstance(target, ast.Name):
+            if target.id in self.env and self.env[target.id] is not None:
+                return self.env[target.id]
+            return unit_for_name(target.id)
+        if isinstance(target, ast.Attribute):
+            return self.symbols.attribute_unit(target.attr)
+        return None
+
+    # -- statement dispatch -------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._visit_assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._visit_ann_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._visit_aug_assign(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._visit_return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            element = self._element_unit(stmt.iter)
+            self.infer(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = (
+                    element if element is not None
+                    else unit_for_name(stmt.target.id)
+                )
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+            self.run(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+        elif isinstance(stmt, ast.Assert):
+            self.infer(stmt.test)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.infer(stmt.exc)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.rule.check_function(stmt, self.ctx, self.symbols, method=False)
+        elif isinstance(stmt, ast.ClassDef):
+            self.rule.check_class(stmt, self.ctx, self.symbols)
+
+    def _visit_assign(self, stmt: ast.Assign) -> None:
+        value_unit = self.infer(stmt.value)
+        stat_unit = self._stat_instance_unit(stmt.value)
+        for target in stmt.targets:
+            self._bind_target(target, stmt.value, value_unit, stat_unit)
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value: Optional[ast.expr],
+        value_unit: Optional[str],
+        stat_unit: Optional[str] = None,
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(
+                target.elts
+            ):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self._bind_target(sub_target, sub_value, self.infer(sub_value))
+            else:
+                for sub_target in target.elts:
+                    self._bind_target(sub_target, None, None)
+            return
+        declared = self._target_declared_unit(target)
+        if (
+            declared is not None
+            and value_unit is not None
+            and declared != SCALAR
+            and value_unit != SCALAR
+            and not addable(declared, value_unit)
+        ):
+            label = (
+                target.id if isinstance(target, ast.Name)
+                else getattr(target, "attr", "?")
+            )
+            self._report_pair(
+                target, declared, value_unit,
+                f"assignment to '{label}'", "REP207",
+            )
+        if isinstance(target, ast.Name):
+            if stat_unit is not None:
+                self.stat_env[target.id] = stat_unit
+            resolved = value_unit if value_unit not in (None, SCALAR) else None
+            if resolved is None:
+                resolved = declared
+            self.env[target.id] = resolved
+
+    def _visit_ann_assign(self, stmt: ast.AnnAssign) -> None:
+        annotated = _annotation_unit(stmt.annotation)
+        value_unit = self.infer(stmt.value) if stmt.value is not None else None
+        if isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            implied = unit_for_name(name)
+            if (
+                annotated is not None
+                and implied is not None
+                and implied != SCALAR
+                and not addable(annotated, implied)
+            ):
+                self._report_pair(
+                    stmt.target, annotated, implied,
+                    f"annotation of '{name}' vs its name", "REP207",
+                )
+            self.env[name] = annotated or (
+                value_unit if value_unit not in (None, SCALAR) else implied
+            )
+        declared = annotated or self._target_declared_unit(stmt.target)
+        if (
+            declared is not None
+            and value_unit is not None
+            and declared != SCALAR
+            and value_unit != SCALAR
+            and not addable(declared, value_unit)
+        ):
+            self._report_pair(
+                stmt.target, declared, value_unit, "annotated assignment",
+                "REP207",
+            )
+
+    def _visit_aug_assign(self, stmt: ast.AugAssign) -> None:
+        target_unit = (
+            self.infer(stmt.target, report=False)
+            or self._target_declared_unit(stmt.target)
+        )
+        value_unit = self.infer(stmt.value)
+        if target_unit is None or value_unit is None:
+            return
+        if isinstance(stmt.op, (ast.Add, ast.Sub)):
+            if not addable(target_unit, value_unit):
+                self._report_pair(
+                    stmt.target, target_unit, value_unit,
+                    "augmented +=/-=", "REP200",
+                )
+        elif isinstance(stmt.op, ast.Mult):
+            if multiply_units(target_unit, value_unit) is None:
+                self._report_pair(
+                    stmt.target, target_unit, value_unit,
+                    "augmented *=", "REP202",
+                )
+        elif isinstance(stmt.op, (ast.Div, ast.FloorDiv)):
+            if divide_units(target_unit, value_unit) is None:
+                self._report_pair(
+                    stmt.target, target_unit, value_unit,
+                    "augmented /=", "REP203",
+                )
+
+    def _visit_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            return
+        value_unit = self.infer(stmt.value)
+        if (
+            self.return_unit is not None
+            and value_unit not in (None, SCALAR)
+            and self.return_unit != SCALAR
+            and not addable(self.return_unit, value_unit)
+        ):
+            self._report_pair(
+                stmt.value, self.return_unit, value_unit,
+                f"return from {self.return_label}", "REP207",
+            )
+
+    # -- expression inference -----------------------------------------------
+
+    def infer(self, node: Optional[ast.expr], report: bool = True) -> Optional[str]:
+        """Infer the unit of an expression, reporting clashes en route."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float)):
+                return SCALAR
+            return None
+        if isinstance(node, ast.Name):
+            return self._name_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value, report=report)
+            return self.symbols.attribute_unit(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node, report)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.infer(node.operand, report=report)
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                return inner
+            return None
+        if isinstance(node, ast.Compare):
+            self._check_compare(node, report)
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, report)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test, report=report)
+            left = self.infer(node.body, report=report)
+            right = self.infer(node.orelse, report=report)
+            return left if left == right else None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value, report=report)
+            return None
+        if isinstance(node, ast.Subscript):
+            self.infer(node.slice, report=report)
+            return self._container_unit_of(node.value)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for elt in node.elts:
+                self.infer(elt, report=report)
+            return None
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self.infer(key, report=report)
+            for value in node.values:
+                self.infer(value, report=report)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self.infer(node.elt, report=False)
+            return None
+        if isinstance(node, ast.DictComp):
+            self.infer(node.key, report=False)
+            self.infer(node.value, report=False)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value, report=report)
+            return None
+        if isinstance(node, ast.Starred):
+            self.infer(node.value, report=report)
+            return None
+        return None
+
+    def _infer_binop(self, node: ast.BinOp, report: bool) -> Optional[str]:
+        left = self.infer(node.left, report=report)
+        right = self.infer(node.right, report=report)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None:
+                if not addable(left, right):
+                    if report:
+                        self._report_pair(
+                            node, left, right,
+                            "'+'" if isinstance(node.op, ast.Add) else "'-'",
+                            "REP200",
+                        )
+                    return None
+                return add_units(left, right)
+            # Optimistic: unknown combined with a known *tagged* unit
+            # keeps the tag so downstream arithmetic stays checkable;
+            # unknown +/- scalar stays unknown (a count minus one is not
+            # thereby dimensionless).
+            if left not in (None, SCALAR):
+                return left
+            if right not in (None, SCALAR):
+                return right
+            return None
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is not None:
+                product = multiply_units(left, right)
+                if product is None and report:
+                    self._report_pair(node, left, right, "'*'", "REP202")
+                return product
+            return None
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if left is not None and right is not None:
+                quotient = divide_units(left, right)
+                if quotient is None and report:
+                    self._report_pair(node, left, right, "'/'", "REP203")
+                return quotient
+            return None
+        if isinstance(node.op, ast.Mod):
+            return left
+        return None
+
+    def _check_compare(self, node: ast.Compare, report: bool) -> None:
+        operands = [node.left, *node.comparators]
+        units = [self.infer(operand, report=report) for operand in operands]
+        if not report:
+            return
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                   ast.Eq, ast.NotEq)):
+                continue
+            left, right = units[index], units[index + 1]
+            if left is None or right is None:
+                continue
+            if not addable(left, right):
+                self._report_pair(node, left, right, "comparison", "REP201")
+
+    # -- call handling ------------------------------------------------------
+
+    def _infer_call(self, node: ast.Call, report: bool) -> Optional[str]:
+        func = node.func
+        arg_units = [
+            self.infer(arg, report=report)
+            for arg in node.args
+            if not isinstance(arg, ast.Starred)
+        ]
+        keyword_units = {
+            kw.arg: self.infer(kw.value, report=report)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+
+        # math.* builtins: conversions and trig.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+        ):
+            return self._infer_math_call(node, func.attr, arg_units, report)
+
+        # Unit-preserving builtins and aggregate helpers.
+        if isinstance(func, ast.Name):
+            if func.id in UNIT_ALIASES:
+                # Calling an alias (``Cycles(x)``) is an explicit cast:
+                # the author asserts the unit, so no check is applied.
+                return UNIT_ALIASES[func.id]
+            if func.id in _UNIT_PRESERVING_BUILTINS and len(node.args) == 1:
+                return arg_units[0] if arg_units else None
+            if func.id in ("min", "max") and len(node.args) >= 2:
+                known = [unit for unit in arg_units
+                         if unit is not None and unit != SCALAR]
+                if report:
+                    for index in range(1, len(known)):
+                        if not addable(known[0], known[index]):
+                            self._report_pair(
+                                node, known[0], known[index],
+                                f"{func.id}() arguments", "REP201",
+                            )
+                            break
+                return known[0] if known else None
+            if func.id == "sum" and node.args:
+                return self._element_unit(node.args[0])
+            if func.id in _STAT_CLASSES:
+                return None
+            signature = self.symbols.signature(func.id)
+            if signature is not None:
+                self._check_call_against(
+                    node, func.id, signature, arg_units, keyword_units, report
+                )
+                return signature.returns
+            return None
+
+        if isinstance(func, ast.Attribute):
+            self.infer(func.value, report=report)
+            # Stats fed the wrong quantity: hist.observe(nbytes) etc.
+            if report and func.attr in _STAT_FEED_METHODS and len(node.args) == 1:
+                stat_unit = None
+                if isinstance(func.value, ast.Name):
+                    stat_unit = self.stat_env.get(func.value.id)
+                elif isinstance(func.value, ast.Call):
+                    stat_unit = self._stat_instance_unit(func.value)
+                if (
+                    stat_unit is not None
+                    and arg_units[0] not in (None, SCALAR)
+                    and not addable(stat_unit, arg_units[0])
+                ):
+                    self._report_pair(
+                        node, stat_unit, arg_units[0],
+                        f"argument to .{func.attr}() of a "
+                        f"'{stat_unit}' statistic", "REP206",
+                    )
+            signature = self.symbols.signature(func.attr)
+            if signature is not None:
+                self._check_call_against(
+                    node, func.attr, signature, arg_units, keyword_units, report
+                )
+                return signature.returns
+            return None
+        return None
+
+    def _infer_math_call(
+        self,
+        node: ast.Call,
+        name: str,
+        arg_units: List[Optional[str]],
+        report: bool,
+    ) -> Optional[str]:
+        first = arg_units[0] if arg_units else None
+        if name == "radians":
+            if report and first == U_RADIANS:
+                self._report(
+                    "REP204", node,
+                    "math.radians() applied to a value already in radians",
+                )
+            return U_RADIANS
+        if name == "degrees":
+            if report and first == U_DEGREES:
+                self._report(
+                    "REP204", node,
+                    "math.degrees() applied to a value already in degrees",
+                )
+            return U_DEGREES
+        if name in _TRIG_EXPECTS_RADIANS:
+            if report and U_DEGREES in arg_units:
+                self._report(
+                    "REP204", node,
+                    f"math.{name}() expects radians but received degrees",
+                )
+            return U_RADIANS if name in _TRIG_RETURNS_RADIANS else SCALAR
+        if name == "isclose" and len(arg_units) >= 2:
+            left, right = arg_units[0], arg_units[1]
+            if (
+                report
+                and left is not None
+                and right is not None
+                and not addable(left, right)
+            ):
+                self._report_pair(
+                    node, left, right, "math.isclose() arguments", "REP201"
+                )
+            return None
+        if name in ("floor", "ceil", "fabs", "fsum", "trunc"):
+            return first
+        return None
+
+    def _check_call_against(
+        self,
+        node: ast.Call,
+        name: str,
+        signature: _Signature,
+        arg_units: List[Optional[str]],
+        keyword_units: Dict[str, Optional[str]],
+        report: bool,
+    ) -> None:
+        if not report:
+            return
+        for index, unit in enumerate(arg_units):
+            declared = (
+                signature.positional[index]
+                if index < len(signature.positional) else None
+            )
+            if (
+                declared is not None
+                and unit not in (None, SCALAR)
+                and declared != SCALAR
+                and not addable(declared, unit)
+            ):
+                self._report_pair(
+                    node, declared, unit,
+                    f"argument {index + 1} of {name}()", "REP206",
+                )
+        for kw_name, unit in keyword_units.items():
+            declared = signature.by_name.get(kw_name)
+            if (
+                declared is not None
+                and unit not in (None, SCALAR)
+                and declared != SCALAR
+                and not addable(declared, unit)
+            ):
+                self._report_pair(
+                    node, declared, unit,
+                    f"argument '{kw_name}' of {name}()", "REP206",
+                )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _stat_instance_unit(self, node: ast.expr) -> Optional[str]:
+        """Unit implied by a stat constructed with a unit-implying name.
+
+        ``LatencyHistogram("texlat")`` -> cycles (from the class);
+        ``Counter("stall_cycles")`` / ``group.accumulator("frame_bytes")``
+        -> from the name string.
+        """
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        func_name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if func_name == "LatencyHistogram":
+            return "cycles"
+        if func_name in _STAT_CLASSES or func_name in _STAT_FACTORIES:
+            if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+                node.args[0].value, str
+            ):
+                return unit_for_name(node.args[0].value)
+        return None
+
+    def _container_unit_of(self, base: ast.expr) -> Optional[str]:
+        if isinstance(base, ast.Attribute):
+            return self.symbols.attribute_container_unit(base.attr)
+        if isinstance(base, ast.Name):
+            return self.symbols.constant_containers.get(base.id)
+        return None
+
+    def _element_unit(self, node: ast.expr) -> Optional[str]:
+        """The element unit of an iterable expression, if inferable."""
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+            return self.infer(node.elt, report=False)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "values":
+                return self._container_unit_of(func.value)
+        return self._container_unit_of(node)
+
+
+# ---------------------------------------------------------------------------
+# The lint rule wrapper.
+# ---------------------------------------------------------------------------
+
+
+class UnitDataflowRule(LintRule):
+    """Hosts the whole REP200-series dataflow pass as one engine.
+
+    The engine runs once per file (dispatched on the ``ast.Module``
+    node) and emits findings under the eight REP200-series IDs; the
+    per-line ``# repro: noqa(REP20x)`` suppression works per ID exactly
+    as for the syntactic rules.
+    """
+
+    rule_id = "REP200"
+    name = "unit-dataflow"
+    description = (
+        "unit-aware dataflow analysis (REP200-REP207): cycles/bytes/"
+        "energy/angle mix-ups"
+    )
+    node_types = (ast.Module,)
+
+    def __init__(self) -> None:
+        self._symbols: Optional[ProjectSymbols] = None
+
+    def prepare(self, sources: Sequence[Tuple[str, str]]) -> None:
+        """Harvest the shared symbol table over the whole lint batch."""
+        self._symbols = harvest_symbols(
+            (path, text)
+            for path, text in sources
+            if "src/repro/" in path.replace("\\", "/")
+        )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.is_sim_source
+
+    def report_as(
+        self, rule_id: str, ctx: LintContext, node: ast.AST, message: str
+    ) -> None:
+        ctx.report_id(rule_id, node, message)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        module: ast.Module = node  # type: ignore[assignment]
+        symbols = self._symbols
+        if symbols is None:
+            symbols = ProjectSymbols()
+            symbols.harvest_module(module)
+        checker = _FunctionChecker(self, ctx, symbols, env={})
+        checker.run(module.body)
+
+    # -- functions, methods, classes ----------------------------------------
+
+    def check_function(
+        self,
+        node: ast.FunctionDef,
+        ctx: LintContext,
+        symbols: ProjectSymbols,
+        method: bool,
+    ) -> None:
+        self._check_signature_tags(node, ctx, method)
+        env: Dict[str, Optional[str]] = {}
+        args = node.args
+        ordered = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        for index, arg in enumerate(ordered):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            env[arg.arg] = (
+                _annotation_unit(arg.annotation) or unit_for_name(arg.arg)
+            )
+        return_unit = _annotation_unit(node.returns) or unit_for_name(node.name)
+        checker = _FunctionChecker(
+            self, ctx, symbols, env,
+            return_unit=return_unit,
+            return_label=f"'{node.name}'",
+        )
+        checker.run(node.body)
+
+    def check_class(
+        self, cls: ast.ClassDef, ctx: LintContext, symbols: ProjectSymbols
+    ) -> None:
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.check_function(stmt, ctx, symbols, method=True)
+            elif isinstance(stmt, ast.ClassDef):
+                self.check_class(stmt, ctx, symbols)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                self._check_field_tag(stmt, ctx)
+
+    # -- REP205 / REP207 signature-level checks -----------------------------
+
+    def _in_tagged_scope(self, ctx: LintContext) -> bool:
+        return ctx.in_subpackages(_UNTAGGED_SUBPACKAGES)
+
+    def _check_signature_tags(
+        self, node: ast.FunctionDef, ctx: LintContext, method: bool
+    ) -> None:
+        if node.name.startswith("_"):
+            return
+        tagged_scope = self._in_tagged_scope(ctx)
+        args = node.args
+        ordered = [*args.posonlyargs, *args.args]
+        if method and ordered and ordered[0].arg in ("self", "cls"):
+            ordered = ordered[1:]
+        for arg in [*ordered, *args.kwonlyargs]:
+            implied = unit_for_name(arg.arg)
+            if implied is None or implied == SCALAR:
+                continue
+            annotated = _annotation_unit(arg.annotation)
+            if annotated is None:
+                if tagged_scope:
+                    self.report_as(
+                        "REP205", ctx, arg,
+                        f"parameter '{arg.arg}' of public function "
+                        f"'{node.name}' implies unit '{implied}' but has no "
+                        "repro.units annotation",
+                    )
+            elif not addable(annotated, implied):
+                self._report_conflict(
+                    ctx, arg, annotated, implied,
+                    f"annotation of parameter '{arg.arg}' contradicts its name",
+                )
+        implied_return = unit_for_name(node.name)
+        if implied_return is None or implied_return == SCALAR:
+            return
+        annotated_return = _annotation_unit(node.returns)
+        if annotated_return is None:
+            if tagged_scope and node.returns is not None:
+                self.report_as(
+                    "REP205", ctx, node,
+                    f"public function '{node.name}' implies unit "
+                    f"'{implied_return}' but its return annotation is not a "
+                    "repro.units alias",
+                )
+        elif not addable(annotated_return, implied_return):
+            self._report_conflict(
+                ctx, node, annotated_return, implied_return,
+                f"return annotation of '{node.name}' contradicts its name",
+            )
+
+    def _check_field_tag(self, stmt: ast.AnnAssign, ctx: LintContext) -> None:
+        name = stmt.target.id  # type: ignore[union-attr]
+        if name.startswith("_"):
+            return
+        implied = unit_for_name(name)
+        if implied is None or implied == SCALAR:
+            return
+        annotated = _annotation_unit(stmt.annotation)
+        if annotated is None:
+            if self._in_tagged_scope(ctx):
+                self.report_as(
+                    "REP205", ctx, stmt,
+                    f"field '{name}' implies unit '{implied}' but is not "
+                    "annotated with a repro.units alias",
+                )
+        elif not addable(annotated, implied):
+            self._report_conflict(
+                ctx, stmt, annotated, implied,
+                f"annotation of field '{name}' contradicts its name",
+            )
+
+    def _report_conflict(
+        self, ctx: LintContext, node: ast.AST, declared: str, implied: str,
+        context: str,
+    ) -> None:
+        if {declared, implied} == ANGLE_UNITS:
+            self.report_as(
+                "REP204", ctx, node,
+                f"{context}: '{declared}' vs '{implied}'",
+            )
+        else:
+            self.report_as(
+                "REP207", ctx, node,
+                f"{context}: '{declared}' vs '{implied}'",
+            )
+
+
+def unit_rule_ids() -> List[str]:
+    """The stable IDs of the REP200-series rules."""
+    return [rule_id for rule_id, _, _ in UNIT_RULE_TABLE]

@@ -14,38 +14,51 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.units import Degrees, Radians
+
 
 @dataclass(frozen=True)
 class AngleThreshold:
     """A named threshold configuration from the paper's sweep."""
 
     label: str
-    radians: Optional[float]
+    radians: Optional[Radians]
     """None means "no recalculation": any cached parent texel is reused
     regardless of angle (the least strict end of the sweep)."""
 
     @property
-    def degrees(self) -> Optional[float]:
+    def degrees(self) -> Optional[Degrees]:
         if self.radians is None:
             return None
-        return math.degrees(self.radians)
+        return Degrees(math.degrees(self.radians))
 
     @property
-    def effective_radians(self) -> float:
+    def effective_radians(self) -> Radians:
         """The threshold as a number (no-recalculation => pi, which no
         quantised angle difference can exceed)."""
         if self.radians is None:
-            return math.pi
+            return Radians(math.pi)
         return self.radians
+
+    def reuse_allowed(self, angle_difference: Radians) -> bool:
+        """Whether a cached parent texel may be reused.
+
+        Section V-C: reuse requires the pixel's camera angle to be within
+        the threshold of the cached angle.  Differences are compared on
+        absolute value; the no-recalculation setting reuses everything.
+        """
+        if self.radians is None:
+            return True
+        return abs(angle_difference) <= self.radians
 
     def __str__(self) -> str:
         return self.label
 
 
-THRESHOLD_0005PI = AngleThreshold(label="A-TFIM-0005pi", radians=0.005 * math.pi)
-THRESHOLD_001PI = AngleThreshold(label="A-TFIM-001pi", radians=0.01 * math.pi)
-THRESHOLD_005PI = AngleThreshold(label="A-TFIM-005pi", radians=0.05 * math.pi)
-THRESHOLD_01PI = AngleThreshold(label="A-TFIM-01pi", radians=0.1 * math.pi)
+THRESHOLD_0005PI = AngleThreshold(label="A-TFIM-0005pi", radians=Radians(0.005 * math.pi))
+THRESHOLD_001PI = AngleThreshold(label="A-TFIM-001pi", radians=Radians(0.01 * math.pi))
+THRESHOLD_005PI = AngleThreshold(label="A-TFIM-005pi", radians=Radians(0.05 * math.pi))
+THRESHOLD_01PI = AngleThreshold(label="A-TFIM-01pi", radians=Radians(0.1 * math.pi))
 THRESHOLD_NO_RECALC = AngleThreshold(label="A-TFIM-no", radians=None)
 
 DEFAULT_THRESHOLD = THRESHOLD_001PI

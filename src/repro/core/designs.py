@@ -10,6 +10,7 @@ from repro.gpu.config import GPUConfig
 from repro.memory.gddr5 import Gddr5Config
 from repro.memory.hmc import HmcConfig
 from repro.memory.packets import PacketSpec
+from repro.units import BytesPerCycle, Radians
 
 
 class Design(Enum):
@@ -46,7 +47,7 @@ class DesignConfig:
     gddr5: Gddr5Config = field(default_factory=Gddr5Config)
     hmc: HmcConfig = field(default_factory=HmcConfig)
     packets: PacketSpec = field(default_factory=PacketSpec)
-    angle_threshold: float = 0.01 * 3.141592653589793
+    angle_threshold: Radians = Radians(0.01 * 3.141592653589793)
     angle_threshold_scale: float = 1.0
     """Calibration for scaled-resolution simulation: one simulated pixel
     spans ``sim_scale`` full-resolution pixels, so the camera angle
@@ -85,7 +86,7 @@ class DesignConfig:
         return self.angle_threshold * self.angle_threshold_scale
 
     @property
-    def external_bytes_per_cycle(self) -> float:
+    def external_bytes_per_cycle(self) -> BytesPerCycle:
         """The GPU<->memory interface rate seen by non-texture traffic."""
         if self.design is Design.BASELINE:
             return self.gddr5.bus_bytes_per_cycle
@@ -107,7 +108,7 @@ class DesignConfig:
             consolidation_enabled=self.consolidation_enabled,
         )
 
-    def with_threshold(self, angle_threshold: float) -> "DesignConfig":
+    def with_threshold(self, angle_threshold: Radians) -> "DesignConfig":
         """A copy with a different camera-angle threshold (A-TFIM)."""
         return DesignConfig(
             design=self.design,

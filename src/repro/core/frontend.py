@@ -28,6 +28,7 @@ from repro.memory.traffic import TrafficMeter
 from repro.render.scene import Scene
 from repro.texture.address import TexelAddressMap
 from repro.texture.requests import FragmentTrace
+from repro.units import Bytes, Cycles
 
 
 def make_texture_path(config: DesignConfig, traffic: TrafficMeter) -> TexturePath:
@@ -54,19 +55,19 @@ class DesignRun:
         return self.config.design
 
     @property
-    def frame_cycles(self) -> float:
+    def frame_cycles(self) -> Cycles:
         return self.frame.frame_cycles
 
     @property
-    def texture_cycles(self) -> float:
+    def texture_cycles(self) -> Cycles:
         return self.frame.texture_cycles
 
     @property
-    def external_texture_bytes(self) -> float:
+    def external_texture_bytes(self) -> Bytes:
         return self.frame.traffic.external_texture
 
     @property
-    def external_total_bytes(self) -> float:
+    def external_total_bytes(self) -> Bytes:
         return self.frame.traffic.external_total
 
 
@@ -150,15 +151,15 @@ class SequenceResult:
         return len(self.frames)
 
     @property
-    def total_cycles(self) -> float:
+    def total_cycles(self) -> Cycles:
         return sum(frame.frame_cycles for frame in self.frames)
 
     @property
-    def total_external_texture_bytes(self) -> float:
+    def total_external_texture_bytes(self) -> Bytes:
         return sum(frame.traffic.external_texture for frame in self.frames)
 
     @property
-    def mean_texture_latency(self) -> float:
+    def mean_texture_latency(self) -> Cycles:
         latencies = [frame.texture_filter_latency for frame in self.frames]
         return sum(latencies) / len(latencies)
 

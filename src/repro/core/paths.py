@@ -24,6 +24,7 @@ from repro.memory.packets import PacketSpec
 from repro.memory.traffic import TrafficClass, TrafficMeter
 from repro.sim.resources import BandwidthServer
 from repro.texture.cache import CacheAccessResult, TextureCache
+from repro.units import Bytes, Cycles, Radians
 
 
 def make_hmc(config: DesignConfig) -> Union[HybridMemoryCube, MultiCubeMemory]:
@@ -80,11 +81,11 @@ class MemoryInterface(abc.ABC):
     """Uniform cache-line read interface over GDDR5 or HMC-external."""
 
     @abc.abstractmethod
-    def read_line(self, arrival: float, address: int) -> float:
+    def read_line(self, arrival: Cycles, address: int) -> float:
         """Fetch one cache line; return the data-delivery cycle."""
 
     @abc.abstractmethod
-    def line_traffic_bytes(self) -> float:
+    def line_traffic_bytes(self) -> Bytes:
         """External bytes one line fill costs (request + response)."""
 
 
@@ -107,12 +108,12 @@ class Gddr5Interface(MemoryInterface):
         self.traffic = traffic
         self.payload_bytes = _line_payload_bytes(packets, compressed)
 
-    def read_line(self, arrival: float, address: int) -> float:
+    def read_line(self, arrival: Cycles, address: int) -> float:
         ready = self.memory.read(arrival, address, self.payload_bytes)
         self.traffic.add_external(TrafficClass.TEXTURE, self.line_traffic_bytes())
         return ready
 
-    def line_traffic_bytes(self) -> float:
+    def line_traffic_bytes(self) -> Bytes:
         return float(
             self.packets.read_request_bytes
             + self.payload_bytes
@@ -130,7 +131,7 @@ class HmcExternalInterface(MemoryInterface):
         self.traffic = traffic
         self.payload_bytes = _line_payload_bytes(packets, compressed)
 
-    def read_line(self, arrival: float, address: int) -> float:
+    def read_line(self, arrival: Cycles, address: int) -> float:
         ready = self.hmc.external_read(
             arrival,
             address,
@@ -140,7 +141,7 @@ class HmcExternalInterface(MemoryInterface):
         self.traffic.add_external(TrafficClass.TEXTURE, self.line_traffic_bytes())
         return ready
 
-    def line_traffic_bytes(self) -> float:
+    def line_traffic_bytes(self) -> Bytes:
         return float(
             self.packets.read_request_bytes
             + self.payload_bytes
@@ -198,11 +199,11 @@ class CacheHierarchy:
     def lookup(
         self,
         cluster: int,
-        arrival: float,
+        arrival: Cycles,
         address: int,
         memory: MemoryInterface,
         angle: Optional[float] = None,
-        angle_threshold: Optional[float] = None,
+        angle_threshold: Optional[Radians] = None,
     ) -> float:
         """Serve one line through L1 -> L2 -> memory; return ready time.
 
@@ -225,7 +226,7 @@ class CacheHierarchy:
         cluster: int,
         address: int,
         angle: Optional[float] = None,
-        angle_threshold: Optional[float] = None,
+        angle_threshold: Optional[Radians] = None,
     ) -> CacheAccessResult:
         """Classify an access (updating cache state) without timing.
 
@@ -248,7 +249,7 @@ class CacheHierarchy:
             return CacheAccessResult.ANGLE_MISS
         return CacheAccessResult.MISS
 
-    def l2_fill_time(self, arrival: float) -> float:
+    def l2_fill_time(self, arrival: Cycles) -> float:
         """Timing of an L1 miss satisfied by the L2."""
         return self.l2_port.access(arrival, self.line_bytes)
 

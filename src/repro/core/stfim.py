@@ -30,6 +30,7 @@ from repro.gpu.config import MTU_TEXTURE_UNIT
 from repro.gpu.texunit import TextureUnit
 from repro.memory.traffic import TrafficClass, TrafficMeter
 from repro.sim.resources import RequestQueue
+from repro.units import Cycles
 
 MTU_REQUEST_QUEUE_DEPTH = 256
 """Texture request queue entries per MTU (matches the parent texel
@@ -115,7 +116,7 @@ class StfimPath(TexturePath):
         return activity
 
     @property
-    def total_stall_cycles(self) -> float:
+    def total_stall_cycles(self) -> Cycles:
         return sum(queue.total_stall_cycles for queue in self.queues)
 
     def reset_for_measurement(self) -> None:

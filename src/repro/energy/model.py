@@ -22,25 +22,35 @@ from repro.core.designs import Design
 from repro.core.paths import PathActivity
 from repro.gpu.pipeline import FrameResult
 from repro.memory.traffic import TrafficMeter
+from repro.units import (
+    BITS_PER_BYTE,
+    PJ,
+    Gigahertz,
+    Joules,
+    PicojoulesPerBit,
+    PicojoulesPerByte,
+    PicojoulesPerOp,
+    Watts,
+)
 
 
 @dataclass(frozen=True)
 class EnergyParams:
     """Per-event energies (picojoules) and static power (watts)."""
 
-    link_pj_per_bit: float = 5.0
-    hmc_dram_pj_per_bit: float = 4.0
-    gddr5_pj_per_bit: float = 14.0
-    texture_alu_pj_per_op: float = 12.0
+    link_pj_per_bit: PicojoulesPerBit = PicojoulesPerBit(5.0)
+    hmc_dram_pj_per_bit: PicojoulesPerBit = PicojoulesPerBit(4.0)
+    gddr5_pj_per_bit: PicojoulesPerBit = PicojoulesPerBit(14.0)
+    texture_alu_pj_per_op: PicojoulesPerOp = PicojoulesPerOp(12.0)
     shader_pj_per_fragment: float = 220.0
     vertex_pj_per_vertex: float = 120.0
     l1_pj_per_access: float = 8.0
     l2_pj_per_access: float = 20.0
-    rop_pj_per_byte: float = 1.5
-    gpu_static_watts: float = 18.0
-    hmc_logic_static_watts: float = 2.5
+    rop_pj_per_byte: PicojoulesPerByte = PicojoulesPerByte(1.5)
+    gpu_static_watts: Watts = Watts(18.0)
+    hmc_logic_static_watts: Watts = Watts(2.5)
     leakage_fraction: float = 0.10
-    gpu_frequency_ghz: float = 1.0
+    gpu_frequency_ghz: Gigahertz = Gigahertz(1.0)
 
     def __post_init__(self) -> None:
         for name in (
@@ -60,18 +70,18 @@ class EnergyParams:
 class EnergyBreakdown:
     """Energy per component, in joules."""
 
-    shader: float = 0.0
-    texture_units_gpu: float = 0.0
-    texture_units_memory: float = 0.0
-    caches: float = 0.0
-    memory_interface: float = 0.0
-    dram: float = 0.0
-    rop: float = 0.0
-    static: float = 0.0
+    shader: Joules = Joules(0.0)
+    texture_units_gpu: Joules = Joules(0.0)
+    texture_units_memory: Joules = Joules(0.0)
+    caches: Joules = Joules(0.0)
+    memory_interface: Joules = Joules(0.0)
+    dram: Joules = Joules(0.0)
+    rop: Joules = Joules(0.0)
+    static: Joules = Joules(0.0)
 
     @property
-    def total(self) -> float:
-        return (
+    def total(self) -> Joules:
+        return Joules(
             self.shader
             + self.texture_units_gpu
             + self.texture_units_memory
@@ -94,10 +104,6 @@ class EnergyBreakdown:
             "static": self.static,
             "total": self.total,
         }
-
-
-PJ = 1e-12
-BITS_PER_BYTE = 8
 
 
 class EnergyModel:

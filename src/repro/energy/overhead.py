@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.texture.cache import CacheConfig
+from repro.units import BITS_PER_BYTE, Bits
 
 KB = 1024.0
 
@@ -29,22 +30,22 @@ class OverheadParams:
     """Inputs to the section VII-E arithmetic (paper values as defaults)."""
 
     parent_buffer_entries: int = 256
-    parent_id_bits: int = 8
-    parent_value_bits: int = 32
-    parent_done_bits: int = 1
-    parent_count_bits: int = 4
+    parent_id_bits: Bits = Bits(8)
+    parent_value_bits: Bits = Bits(32)
+    parent_done_bits: Bits = Bits(1)
+    parent_count_bits: Bits = Bits(4)
     consolidation_entries: int = 256
-    consolidation_entry_bits: int = 16  # child-parent pair ID
+    consolidation_entry_bits: Bits = Bits(16)  # child-parent pair ID
     logic_area_mm2: float = 6.09
     storage_area_mm2: float = 1.12
     dram_die_area_mm2: float = 226.1
     gpu_area_mm2: float = 136.7
-    angle_bits: int = 7
+    angle_bits: Bits = Bits(7)
     angle_area_mm2: float = 0.31
     num_clusters: int = 16
 
     @property
-    def parent_entry_bits(self) -> int:
+    def parent_entry_bits(self) -> Bits:
         """45 bits: ID + value + done flag + unfetched-child counter."""
         return (
             self.parent_id_bits
@@ -69,9 +70,9 @@ class AtfimOverhead:
     gpu_area_fraction: float
 
 
-def _angle_kb(cache: CacheConfig, angle_bits: int) -> float:
+def _angle_kb(cache: CacheConfig, angle_bits: Bits) -> float:
     """Extra angle-tag storage for one cache, in KB."""
-    return cache.num_lines * angle_bits / 8.0 / KB
+    return cache.num_lines * angle_bits / BITS_PER_BYTE / KB
 
 
 def compute_overhead(
@@ -85,10 +86,13 @@ def compute_overhead(
     l2 = l2 or CacheConfig(size_bytes=128 * 1024)
 
     parent_buffer_kb = (
-        params.parent_buffer_entries * params.parent_entry_bits / 8.0 / KB
+        params.parent_buffer_entries * params.parent_entry_bits / BITS_PER_BYTE / KB
     )
     consolidation_kb = (
-        params.consolidation_entries * params.consolidation_entry_bits / 8.0 / KB
+        params.consolidation_entries
+        * params.consolidation_entry_bits
+        / BITS_PER_BYTE
+        / KB
     )
     hmc_area = params.logic_area_mm2 + params.storage_area_mm2
 

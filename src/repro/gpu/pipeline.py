@@ -30,7 +30,7 @@ from repro.gpu.geometry import GeometryResult, simulate_geometry
 from repro.gpu.rop import RopResult, simulate_rop
 from repro.gpu.shader import ShaderResult, simulate_fragment_shading
 from repro.memory.traffic import TrafficMeter
-from repro.sim.events import LatencyHistogram
+from repro.sim.latency import LatencyHistogram
 from repro.texture.requests import FragmentTrace
 
 

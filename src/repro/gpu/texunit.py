@@ -19,19 +19,20 @@ from dataclasses import dataclass, field
 
 from repro.gpu.config import TextureUnitConfig
 from repro.sim.resources import ThroughputUnit
+from repro.units import Cycles, Ops, OpsPerCycle
 
 
 @dataclass
 class TextureUnitActivity:
     """Energy-relevant event counts for one texture unit."""
 
-    address_ops: int = 0
-    filter_ops: int = 0
+    address_ops: Ops = Ops(0)
+    filter_ops: Ops = Ops(0)
     requests: int = 0
 
     def merge(self, other: "TextureUnitActivity") -> None:
-        self.address_ops += other.address_ops
-        self.filter_ops += other.filter_ops
+        self.address_ops = Ops(self.address_ops + other.address_ops)
+        self.filter_ops = Ops(self.filter_ops + other.filter_ops)
         self.requests += other.requests
 
 
@@ -43,33 +44,33 @@ class TextureUnit:
         self.config = config
         self.address_stage = ThroughputUnit(
             name=f"{name}.addr",
-            ops_per_cycle=float(config.address_alus),
+            ops_per_cycle=OpsPerCycle(float(config.address_alus)),
             pipeline_depth=config.pipeline_depth,
         )
         self.filter_stage = ThroughputUnit(
             name=f"{name}.filter",
-            ops_per_cycle=float(config.filter_alus),
+            ops_per_cycle=OpsPerCycle(float(config.filter_alus)),
             pipeline_depth=config.pipeline_depth,
         )
         self.activity = TextureUnitActivity()
 
-    def generate_addresses(self, arrival: float, num_texels: int) -> float:
+    def generate_addresses(self, arrival: Cycles, num_texels: int) -> Cycles:
         """Address-generation stage: one op per texel; returns done time."""
         if num_texels < 0:
             raise ValueError("negative texel count")
-        self.activity.address_ops += num_texels
+        self.activity.address_ops = Ops(self.activity.address_ops + num_texels)
         if num_texels == 0:
             return arrival
-        return self.address_stage.issue(arrival, float(num_texels))
+        return self.address_stage.issue(arrival, Ops(float(num_texels)))
 
-    def filter_texels(self, arrival: float, num_texels: int) -> float:
+    def filter_texels(self, arrival: Cycles, num_texels: int) -> Cycles:
         """Filtering stage: one op per texel; returns result-ready time."""
         if num_texels < 0:
             raise ValueError("negative texel count")
-        self.activity.filter_ops += num_texels
+        self.activity.filter_ops = Ops(self.activity.filter_ops + num_texels)
         if num_texels == 0:
             return arrival
-        return self.filter_stage.issue(arrival, float(num_texels))
+        return self.filter_stage.issue(arrival, Ops(float(num_texels)))
 
     def note_request(self) -> None:
         self.activity.requests += 1

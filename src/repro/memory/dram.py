@@ -21,6 +21,7 @@ row-buffer locality.  Two modelling points matter for fidelity:
 
 from __future__ import annotations
 
+from repro.units import Bytes, Cycles
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -34,11 +35,11 @@ class DramTiming:
     column access).
     """
 
-    row_activate_cycles: float = 12.0
-    column_access_cycles: float = 12.0
-    precharge_cycles: float = 12.0
-    burst_cycles: float = 4.0
-    row_bytes: int = 2048
+    row_activate_cycles: Cycles = Cycles(12.0)
+    column_access_cycles: Cycles = Cycles(12.0)
+    precharge_cycles: Cycles = Cycles(12.0)
+    burst_cycles: Cycles = Cycles(4.0)
+    row_bytes: Bytes = Bytes(2048)
 
     def __post_init__(self) -> None:
         if self.row_bytes <= 0:
@@ -77,9 +78,9 @@ class DramBank:
     _next_free: float = field(default=0.0, repr=False)
     row_hits: int = field(default=0, repr=False)
     row_misses: int = field(default=0, repr=False)
-    busy_cycles: float = field(default=0.0, repr=False)
+    busy_cycles: Cycles = field(default=Cycles(0.0), repr=False)
 
-    def access_row(self, arrival: float, row: int) -> float:
+    def access_row(self, arrival: Cycles, row: int) -> Cycles:
         """Access ``row`` at ``arrival``; return data-ready time."""
         if row < 0:
             raise ValueError("negative row")
@@ -126,7 +127,7 @@ class DramDevice:
 
     timing: DramTiming
     num_banks: int = 16
-    bank_interleave_bytes: int = 256
+    bank_interleave_bytes: Bytes = Bytes(256)
     interleave_step: int = 1
     banks: List[DramBank] = field(default_factory=list)
 
@@ -156,7 +157,7 @@ class DramDevice:
         row = address // (stride * self.num_banks * blocks_per_row)
         return bank, row
 
-    def access(self, arrival: float, address: int) -> float:
+    def access(self, arrival: Cycles, address: int) -> Cycles:
         """Route an access to its bank; return data-ready time."""
         bank_index, row = self.locate(address)
         return self.banks[bank_index].access_row(arrival, row)
@@ -170,7 +171,7 @@ class DramDevice:
         return hits / total
 
     @property
-    def busy_cycles(self) -> float:
+    def busy_cycles(self) -> Cycles:
         return sum(bank.busy_cycles for bank in self.banks)
 
     def reset(self) -> None:

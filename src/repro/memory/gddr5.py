@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.clock import bytes_per_cycle
+from repro.units import Bytes, BytesPerCycle, Cycles, Gigahertz, GigabytesPerSecond
 from repro.sim.resources import BandwidthServer
 from repro.memory.dram import DramDevice, DramTiming
 
@@ -18,17 +19,17 @@ from repro.memory.dram import DramDevice, DramTiming
 class Gddr5Config:
     """Configuration of the GDDR5 memory system (Table I values)."""
 
-    bandwidth_gb_per_s: float = 128.0
-    memory_frequency_ghz: float = 1.25
-    gpu_frequency_ghz: float = 1.0
-    access_latency_cycles: float = 120.0
+    bandwidth_gb_per_s: GigabytesPerSecond = GigabytesPerSecond(128.0)
+    memory_frequency_ghz: Gigahertz = Gigahertz(1.25)
+    gpu_frequency_ghz: Gigahertz = Gigahertz(1.0)
+    access_latency_cycles: Cycles = Cycles(120.0)
     num_channels: int = 4
     """A 128 GB/s GDDR5 subsystem is several independent 32-bit channels;
     channel-level parallelism is what lets the quoted bandwidth be
     reached under banked access streams."""
     num_banks: int = 16
-    line_bytes: int = 64
-    channel_interleave_bytes: int = 256
+    line_bytes: Bytes = Bytes(64)
+    channel_interleave_bytes: Bytes = Bytes(256)
     timing: DramTiming = field(default_factory=DramTiming)
 
     def __post_init__(self) -> None:
@@ -38,7 +39,7 @@ class Gddr5Config:
             raise ValueError("latency must be non-negative")
 
     @property
-    def bus_bytes_per_cycle(self) -> float:
+    def bus_bytes_per_cycle(self) -> BytesPerCycle:
         return bytes_per_cycle(self.bandwidth_gb_per_s, self.gpu_frequency_ghz)
 
 
@@ -77,19 +78,19 @@ class Gddr5Memory:
         ) % self.config.num_channels
         return self.channels[index]
 
-    def _access(self, arrival: float, address: int, nbytes: int) -> float:
+    def _access(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         bank_ready = self.channel_for(address).access(arrival, address)
         bus_ready = self.bus.access(arrival, nbytes)
         return max(bank_ready, bus_ready)
 
-    def read(self, arrival: float, address: int, nbytes: int) -> float:
+    def read(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         """Read ``nbytes`` at ``address``; return data-ready cycle."""
         if nbytes <= 0:
             raise ValueError("read size must be positive")
         self.reads += 1
         return self._access(arrival, address, nbytes)
 
-    def write(self, arrival: float, address: int, nbytes: int) -> float:
+    def write(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         """Write ``nbytes`` at ``address``; return acceptance cycle."""
         if nbytes <= 0:
             raise ValueError("write size must be positive")
@@ -97,7 +98,7 @@ class Gddr5Memory:
         return self._access(arrival, address, nbytes)
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> Bytes:
         return self.bus.total_bytes
 
     def row_hit_rate(self) -> float:

@@ -22,22 +22,23 @@ from typing import List
 from repro.sim.clock import bytes_per_cycle
 from repro.sim.resources import BandwidthServer
 from repro.memory.dram import DramDevice, DramTiming
+from repro.units import Bytes, BytesPerCycle, Cycles, Gigahertz, GigabytesPerSecond
 
 
 @dataclass(frozen=True)
 class HmcConfig:
     """HMC configuration (Table I and HMC 2.0 specification values)."""
 
-    external_bandwidth_gb_per_s: float = 320.0
-    internal_bandwidth_gb_per_s: float = 512.0
+    external_bandwidth_gb_per_s: GigabytesPerSecond = GigabytesPerSecond(320.0)
+    internal_bandwidth_gb_per_s: GigabytesPerSecond = GigabytesPerSecond(512.0)
     num_vaults: int = 32
     banks_per_vault: int = 8
-    gpu_frequency_ghz: float = 1.0
-    memory_frequency_ghz: float = 1.25
-    link_latency_cycles: float = 32.0
-    tsv_latency_cycles: float = 1.0
-    vault_access_latency_cycles: float = 40.0
-    line_bytes: int = 64
+    gpu_frequency_ghz: Gigahertz = Gigahertz(1.0)
+    memory_frequency_ghz: Gigahertz = Gigahertz(1.25)
+    link_latency_cycles: Cycles = Cycles(32.0)
+    tsv_latency_cycles: Cycles = Cycles(1.0)
+    vault_access_latency_cycles: Cycles = Cycles(40.0)
+    line_bytes: Bytes = Bytes(64)
     timing: DramTiming = field(default_factory=DramTiming)
 
     def __post_init__(self) -> None:
@@ -54,7 +55,7 @@ class HmcConfig:
             raise ValueError("vault/bank counts must be positive")
 
     @property
-    def link_bytes_per_cycle(self) -> float:
+    def link_bytes_per_cycle(self) -> BytesPerCycle:
         """Per-direction external link rate in bytes per GPU cycle.
 
         The paper compares "320 GB/s of peak external memory bandwidth"
@@ -67,7 +68,7 @@ class HmcConfig:
         )
 
     @property
-    def vault_bytes_per_cycle(self) -> float:
+    def vault_bytes_per_cycle(self) -> BytesPerCycle:
         """Per-vault internal rate in bytes per GPU cycle."""
         return bytes_per_cycle(
             self.internal_bandwidth_gb_per_s, self.gpu_frequency_ghz
@@ -85,12 +86,12 @@ class HmcLink:
             latency=config.link_latency_cycles,
         )
 
-    def transmit(self, arrival: float, nbytes: float) -> float:
+    def transmit(self, arrival: Cycles, nbytes: Bytes) -> Cycles:
         """Send ``nbytes`` over this direction; return delivery cycle."""
         return self.server.access(arrival, nbytes)
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> Bytes:
         return self.server.total_bytes
 
     def reset(self) -> None:
@@ -120,7 +121,7 @@ class HmcVault:
         )
         self.accesses = 0
 
-    def access(self, arrival: float, address: int, nbytes: int) -> float:
+    def access(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         """Serve an internal access; return data-ready cycle."""
         if nbytes <= 0:
             raise ValueError("access size must be positive")
@@ -130,7 +131,7 @@ class HmcVault:
         return max(bank_ready, tsv_ready) + self.config.vault_access_latency_cycles
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> Bytes:
         return self.tsv.total_bytes
 
     def reset(self) -> None:
@@ -181,8 +182,8 @@ class HybridMemoryCube:
     # ------------------------------------------------------------------
 
     def external_read(
-        self, arrival: float, address: int, request_bytes: int, response_bytes: int
-    ) -> float:
+        self, arrival: Cycles, address: int, request_bytes: Bytes, response_bytes: Bytes
+    ) -> Cycles:
         """A read crossing the links; returns the response delivery cycle."""
         request_delivered = self.tx_link.transmit(arrival, request_bytes)
         data_ready = self.vault_for(address).access(
@@ -191,13 +192,13 @@ class HybridMemoryCube:
         self.external_reads += 1
         return self.rx_link.transmit(data_ready, response_bytes)
 
-    def external_write(self, arrival: float, address: int, nbytes: int) -> float:
+    def external_write(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         """A write crossing the tx link; returns the acceptance cycle."""
         delivered = self.tx_link.transmit(arrival, nbytes)
         self.external_writes += 1
         return self.vault_for(address).access(delivered, address, nbytes)
 
-    def send_request(self, arrival: float, address: int, nbytes: float) -> float:
+    def send_request(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         """Ship a request package toward the cube holding ``address``.
 
         For a single cube the address only selects the cube in the
@@ -208,7 +209,7 @@ class HybridMemoryCube:
             raise ValueError("negative address")
         return self.tx_link.transmit(arrival, nbytes)
 
-    def send_response(self, arrival: float, address: int, nbytes: float) -> float:
+    def send_response(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         """Ship a response package from the cube holding ``address``."""
         if address < 0:
             raise ValueError("negative address")
@@ -218,17 +219,17 @@ class HybridMemoryCube:
     # Internal path: logic-layer units <-> vaults over the switch/TSVs.
     # ------------------------------------------------------------------
 
-    def internal_read(self, arrival: float, address: int, nbytes: int) -> float:
+    def internal_read(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         """A logic-layer read; never touches the external links."""
         self.internal_reads += 1
         return self.vault_for(address).access(arrival, address, nbytes)
 
     @property
-    def external_bytes(self) -> float:
+    def external_bytes(self) -> Bytes:
         return self.tx_link.total_bytes + self.rx_link.total_bytes
 
     @property
-    def internal_bytes(self) -> float:
+    def internal_bytes(self) -> Bytes:
         return sum(vault.total_bytes for vault in self.vaults)
 
     def reset(self) -> None:

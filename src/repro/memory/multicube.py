@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.memory.hmc import HmcConfig, HybridMemoryCube
+from repro.units import Bytes, Cycles
 
 
 class MultiCubeMemory:
@@ -57,33 +58,33 @@ class MultiCubeMemory:
 
     # -- single-cube-compatible interface ------------------------------
 
-    def send_request(self, arrival: float, address: int, nbytes: float) -> float:
+    def send_request(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         return self.cube_for(address).send_request(arrival, address, nbytes)
 
-    def send_response(self, arrival: float, address: int, nbytes: float) -> float:
+    def send_response(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         return self.cube_for(address).send_response(arrival, address, nbytes)
 
     def external_read(
-        self, arrival: float, address: int, request_bytes: int, response_bytes: int
-    ) -> float:
+        self, arrival: Cycles, address: int, request_bytes: Bytes, response_bytes: Bytes
+    ) -> Cycles:
         return self.cube_for(address).external_read(
             arrival, address, request_bytes, response_bytes
         )
 
-    def external_write(self, arrival: float, address: int, nbytes: int) -> float:
+    def external_write(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         return self.cube_for(address).external_write(arrival, address, nbytes)
 
-    def internal_read(self, arrival: float, address: int, nbytes: int) -> float:
+    def internal_read(self, arrival: Cycles, address: int, nbytes: Bytes) -> Cycles:
         return self.cube_for(address).internal_read(arrival, address, nbytes)
 
     # -- aggregate statistics ------------------------------------------
 
     @property
-    def external_bytes(self) -> float:
+    def external_bytes(self) -> Bytes:
         return sum(cube.external_bytes for cube in self.cubes)
 
     @property
-    def internal_bytes(self) -> float:
+    def internal_bytes(self) -> Bytes:
         return sum(cube.internal_bytes for cube in self.cubes)
 
     @property

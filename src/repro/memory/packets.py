@@ -13,6 +13,7 @@ same, auditable costs.
 """
 
 from __future__ import annotations
+from repro.units import Bytes
 
 from dataclasses import dataclass
 from enum import Enum
@@ -42,10 +43,10 @@ class PacketSpec:
     packs several parent texels of one fetch into one package.
     """
 
-    cache_line_bytes: int = 64
-    header_bytes: int = 16
+    cache_line_bytes: Bytes = Bytes(64)
+    header_bytes: Bytes = Bytes(16)
     texture_request_scale: int = 4
-    texel_bytes: int = 4  # RGBA8
+    texel_bytes: Bytes = Bytes(4)  # RGBA8
 
     def __post_init__(self) -> None:
         if self.cache_line_bytes <= 0:
@@ -58,26 +59,26 @@ class PacketSpec:
             raise ValueError("texel size must be positive")
 
     @property
-    def read_request_bytes(self) -> int:
+    def read_request_bytes(self) -> Bytes:
         """A normal memory read request: header only."""
         return self.header_bytes
 
     @property
-    def read_response_bytes(self) -> int:
+    def read_response_bytes(self) -> Bytes:
         """A normal read response: one cache line plus header."""
         return self.cache_line_bytes + self.header_bytes
 
     @property
-    def write_request_bytes(self) -> int:
+    def write_request_bytes(self) -> Bytes:
         """A write: one cache line plus header."""
         return self.cache_line_bytes + self.header_bytes
 
     @property
-    def texture_request_bytes(self) -> int:
+    def texture_request_bytes(self) -> Bytes:
         """S-TFIM live-texture request package (4x a read request)."""
         return self.texture_request_scale * self.read_request_bytes
 
-    def texture_response_bytes(self, samples: int = 1) -> int:
+    def texture_response_bytes(self, samples: int = 1) -> Bytes:
         """S-TFIM response: filtered RGBA samples plus header.
 
         The paper sizes one response package equal to a read response; a
@@ -92,11 +93,11 @@ class PacketSpec:
         return lines * self.cache_line_bytes + self.header_bytes
 
     @property
-    def parent_texel_request_bytes(self) -> int:
+    def parent_texel_request_bytes(self) -> Bytes:
         """A-TFIM offloading package: 4x a read request (section VI)."""
         return self.texture_request_scale * self.read_request_bytes
 
-    def parent_texel_response_bytes(self, parent_texels: int) -> int:
+    def parent_texel_response_bytes(self, parent_texels: int) -> Bytes:
         """A-TFIM response, formatted like a normal bilinear fetch result.
 
         The Combination Unit's composing stage groups the requested parent

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict
 
+from repro.units import Bytes
+
 
 class TrafficClass(Enum):
     """What a memory transfer was for."""
@@ -29,33 +31,33 @@ class TrafficClass(Enum):
 class TrafficMeter:
     """Byte counters per traffic class, split external/internal."""
 
-    external: Dict[TrafficClass, float] = field(
-        default_factory=lambda: {cls: 0.0 for cls in TrafficClass}
+    external: Dict[TrafficClass, Bytes] = field(
+        default_factory=lambda: {cls: Bytes(0.0) for cls in TrafficClass}
     )
-    internal: Dict[TrafficClass, float] = field(
-        default_factory=lambda: {cls: 0.0 for cls in TrafficClass}
+    internal: Dict[TrafficClass, Bytes] = field(
+        default_factory=lambda: {cls: Bytes(0.0) for cls in TrafficClass}
     )
 
-    def add_external(self, traffic_class: TrafficClass, nbytes: float) -> None:
+    def add_external(self, traffic_class: TrafficClass, nbytes: Bytes) -> None:
         if nbytes < 0:
             raise ValueError("negative byte count")
         self.external[traffic_class] += nbytes
 
-    def add_internal(self, traffic_class: TrafficClass, nbytes: float) -> None:
+    def add_internal(self, traffic_class: TrafficClass, nbytes: Bytes) -> None:
         if nbytes < 0:
             raise ValueError("negative byte count")
         self.internal[traffic_class] += nbytes
 
     @property
-    def external_total(self) -> float:
-        return sum(self.external.values())
+    def external_total(self) -> Bytes:
+        return Bytes(sum(self.external.values()))
 
     @property
-    def internal_total(self) -> float:
-        return sum(self.internal.values())
+    def internal_total(self) -> Bytes:
+        return Bytes(sum(self.internal.values()))
 
     @property
-    def external_texture(self) -> float:
+    def external_texture(self) -> Bytes:
         return self.external[TrafficClass.TEXTURE]
 
     def breakdown(self) -> Dict[str, float]:

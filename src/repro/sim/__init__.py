@@ -9,7 +9,8 @@ that every performance model in :mod:`repro` is built on:
   bounded request queues with backpressure).
 * :mod:`repro.sim.stats` -- counters, accumulators and hierarchical stat
   groups used for reporting.
-* :mod:`repro.sim.events` -- latency records and histogram utilities.
+* :mod:`repro.sim.latency` -- latency records and histogram utilities
+  (re-exported by :mod:`repro.sim.events` for backwards compatibility).
 
 The central modelling idea (documented in DESIGN.md section 5) is that a
 request's completion time on a contended resource is::
@@ -30,7 +31,7 @@ from repro.sim.resources import (
     ThroughputUnit,
 )
 from repro.sim.stats import Accumulator, Counter, StatGroup
-from repro.sim.events import LatencyHistogram, LatencyRecord
+from repro.sim.latency import LatencyHistogram, LatencyRecord
 
 __all__ = [
     "SimClock",

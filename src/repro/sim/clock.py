@@ -9,7 +9,9 @@ cycle counts into GPU cycles through :class:`ClockDomain`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.units import BytesPerCycle, Cycles, Gigahertz, GigabytesPerSecond, Seconds
 
 
 @dataclass
@@ -22,10 +24,10 @@ class SimClock:
     the frame's cycle count.
     """
 
-    now: float = 0.0
-    _high_water: float = 0.0
+    now: Cycles = Cycles(0.0)
+    _high_water: Cycles = Cycles(0.0)
 
-    def advance_to(self, cycle: float) -> None:
+    def advance_to(self, cycle: Cycles) -> None:
         """Move the clock forward to ``cycle``.
 
         Moving backwards is an error: discrete-event processing must feed
@@ -39,7 +41,7 @@ class SimClock:
         if cycle > self._high_water:
             self._high_water = cycle
 
-    def observe_completion(self, cycle: float) -> None:
+    def observe_completion(self, cycle: Cycles) -> None:
         """Record a completion time without advancing ``now``.
 
         Completion times may lie in the future of the issue clock (the
@@ -50,13 +52,13 @@ class SimClock:
             self._high_water = cycle
 
     @property
-    def elapsed(self) -> float:
+    def elapsed(self) -> Cycles:
         """Total simulated cycles: the high-water completion mark."""
         return self._high_water
 
     def reset(self) -> None:
-        self.now = 0.0
-        self._high_water = 0.0
+        self.now = Cycles(0.0)
+        self._high_water = Cycles(0.0)
 
 
 @dataclass(frozen=True)
@@ -67,8 +69,8 @@ class ClockDomain:
     """
 
     name: str
-    frequency_ghz: float
-    reference_ghz: float = 1.0
+    frequency_ghz: Gigahertz
+    reference_ghz: Gigahertz = Gigahertz(1.0)
 
     def __post_init__(self) -> None:
         if self.frequency_ghz <= 0:
@@ -76,20 +78,22 @@ class ClockDomain:
         if self.reference_ghz <= 0:
             raise ValueError("reference frequency must be positive")
 
-    def to_reference_cycles(self, native_cycles: float) -> float:
+    def to_reference_cycles(self, native_cycles: Cycles) -> Cycles:
         """Convert cycles of this domain into reference-domain cycles."""
-        return native_cycles * self.reference_ghz / self.frequency_ghz
+        return Cycles(native_cycles * (self.reference_ghz / self.frequency_ghz))
 
-    def from_reference_cycles(self, reference_cycles: float) -> float:
+    def from_reference_cycles(self, reference_cycles: Cycles) -> Cycles:
         """Convert reference-domain cycles into this domain's cycles."""
-        return reference_cycles * self.frequency_ghz / self.reference_ghz
+        return Cycles(reference_cycles * (self.frequency_ghz / self.reference_ghz))
 
-    def seconds(self, native_cycles: float) -> float:
+    def seconds(self, native_cycles: Cycles) -> Seconds:
         """Wall-clock seconds represented by ``native_cycles``."""
-        return native_cycles / (self.frequency_ghz * 1e9)
+        return Seconds(native_cycles / (self.frequency_ghz * 1e9))
 
 
-def bytes_per_cycle(bandwidth_gb_per_s: float, frequency_ghz: float = 1.0) -> float:
+def bytes_per_cycle(
+    bandwidth_gb_per_s: GigabytesPerSecond, frequency_ghz: Gigahertz = Gigahertz(1.0)
+) -> BytesPerCycle:
     """Convert a bandwidth in GB/s into bytes per clock cycle.
 
     The paper quotes bandwidths in GB/s (128 GB/s GDDR5, 320 GB/s HMC
@@ -100,4 +104,4 @@ def bytes_per_cycle(bandwidth_gb_per_s: float, frequency_ghz: float = 1.0) -> fl
         raise ValueError("bandwidth must be non-negative")
     if frequency_ghz <= 0:
         raise ValueError("frequency must be positive")
-    return bandwidth_gb_per_s / frequency_ghz
+    return BytesPerCycle(bandwidth_gb_per_s / frequency_ghz)

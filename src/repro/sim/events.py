@@ -1,86 +1,18 @@
-"""Latency records and histogram utilities."""
+"""Backwards-compatible re-exports of :mod:`repro.sim.latency`.
+
+The latency records and histogram utilities historically lived here;
+they moved to :mod:`repro.sim.latency` when the histogram gained its
+O(1) bucket index and unit-tagged signatures.  Import from
+``repro.sim.latency`` (or ``repro.sim``) in new code.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from repro.sim.latency import (
+    LatencyHistogram,
+    LatencyRecord,
+    bucket_index,
+    makespan,
+)
 
-
-@dataclass(frozen=True)
-class LatencyRecord:
-    """One request's timeline through the system.
-
-    The paper measures texture-filtering latency "from the time when a
-    shader sends out the texel fetching request to when it receives the
-    final texture output" (section VII-A); a :class:`LatencyRecord`
-    captures exactly that interval plus the issue time for ordering.
-    """
-
-    issue_cycle: float
-    complete_cycle: float
-
-    @property
-    def latency(self) -> float:
-        return self.complete_cycle - self.issue_cycle
-
-    def __post_init__(self) -> None:
-        if self.complete_cycle < self.issue_cycle:
-            raise ValueError("completion precedes issue")
-
-
-class LatencyHistogram:
-    """Power-of-two bucketed latency histogram with exact aggregates."""
-
-    def __init__(self, name: str, num_buckets: int = 24) -> None:
-        self.name = name
-        self.buckets: List[int] = [0] * num_buckets
-        self.count = 0
-        self.total = 0.0
-        self.max_latency = 0.0
-
-    def observe(self, latency: float) -> None:
-        if latency < 0:
-            raise ValueError("negative latency")
-        self.count += 1
-        self.total += latency
-        if latency > self.max_latency:
-            self.max_latency = latency
-        index = 0
-        threshold = 1.0
-        while latency >= threshold and index < len(self.buckets) - 1:
-            threshold *= 2.0
-            index += 1
-        self.buckets[index] += 1
-
-    @property
-    def mean(self) -> float:
-        if self.count == 0:
-            return 0.0
-        return self.total / self.count
-
-    def percentile_bucket_upper_bound(self, fraction: float) -> float:
-        """Upper bound (in cycles) of the bucket containing the percentile.
-
-        Histograms are bucketed, so this is a bound rather than an exact
-        percentile -- sufficient for tail-latency sanity checks in tests.
-        """
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        if self.count == 0:
-            return 0.0
-        target = fraction * self.count
-        seen = 0
-        for index, population in enumerate(self.buckets):
-            seen += population
-            if seen >= target:
-                return float(2 ** index)
-        return float(2 ** (len(self.buckets) - 1))
-
-
-def makespan(records: Sequence[LatencyRecord]) -> float:
-    """Latest completion time across a batch of records (0 if empty)."""
-    latest = 0.0
-    for record in records:
-        if record.complete_cycle > latest:
-            latest = record.complete_cycle
-    return latest
+__all__ = ["LatencyHistogram", "LatencyRecord", "bucket_index", "makespan"]

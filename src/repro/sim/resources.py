@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.units import Bytes, BytesPerCycle, Cycles, Ops, OpsPerCycle
+
 
 class ResourceBusyError(RuntimeError):
     """Raised when a bounded queue rejects a request (backpressure)."""
@@ -38,12 +40,12 @@ class BandwidthServer:
     """
 
     name: str
-    bytes_per_cycle: float
-    latency: float = 0.0
-    _next_free: float = field(default=0.0, repr=False)
-    total_bytes: float = field(default=0.0, repr=False)
+    bytes_per_cycle: BytesPerCycle
+    latency: Cycles = Cycles(0.0)
+    _next_free: Cycles = field(default=Cycles(0.0), repr=False)
+    total_bytes: Bytes = field(default=Bytes(0.0), repr=False)
     total_requests: int = field(default=0, repr=False)
-    busy_cycles: float = field(default=0.0, repr=False)
+    busy_cycles: Cycles = field(default=Cycles(0.0), repr=False)
 
     def __post_init__(self) -> None:
         if self.bytes_per_cycle <= 0:
@@ -51,7 +53,7 @@ class BandwidthServer:
         if self.latency < 0:
             raise ValueError(f"{self.name}: latency must be non-negative")
 
-    def access(self, arrival: float, nbytes: float) -> float:
+    def access(self, arrival: Cycles, nbytes: Bytes) -> Cycles:
         """Serve ``nbytes`` arriving at ``arrival``; return ready time.
 
         The ready time includes the fixed latency.  Zero-byte accesses are
@@ -61,32 +63,32 @@ class BandwidthServer:
             raise ValueError("negative transfer size")
         start = max(arrival, self._next_free)
         occupancy = nbytes / self.bytes_per_cycle
-        self._next_free = start + occupancy
-        self.total_bytes += nbytes
+        self._next_free = Cycles(start + occupancy)
+        self.total_bytes = Bytes(self.total_bytes + nbytes)
         self.total_requests += 1
-        self.busy_cycles += occupancy
-        return self._next_free + self.latency
+        self.busy_cycles = Cycles(self.busy_cycles + occupancy)
+        return Cycles(self._next_free + self.latency)
 
-    def peek_ready(self, arrival: float, nbytes: float) -> float:
+    def peek_ready(self, arrival: Cycles, nbytes: Bytes) -> Cycles:
         """Compute the ready time *without* consuming the resource."""
         start = max(arrival, self._next_free)
-        return start + nbytes / self.bytes_per_cycle + self.latency
+        return Cycles(start + nbytes / self.bytes_per_cycle + self.latency)
 
     @property
-    def next_free(self) -> float:
+    def next_free(self) -> Cycles:
         return self._next_free
 
-    def utilization(self, elapsed: float) -> float:
+    def utilization(self, elapsed: Cycles) -> float:
         """Fraction of ``elapsed`` cycles this server was transferring."""
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_cycles / elapsed)
 
     def reset(self) -> None:
-        self._next_free = 0.0
-        self.total_bytes = 0.0
+        self._next_free = Cycles(0.0)
+        self.total_bytes = Bytes(0.0)
         self.total_requests = 0
-        self.busy_cycles = 0.0
+        self.busy_cycles = Cycles(0.0)
 
 
 @dataclass
@@ -99,11 +101,11 @@ class ThroughputUnit:
     """
 
     name: str
-    ops_per_cycle: float
-    pipeline_depth: float = 1.0
-    _next_issue: float = field(default=0.0, repr=False)
-    total_ops: int = field(default=0, repr=False)
-    busy_cycles: float = field(default=0.0, repr=False)
+    ops_per_cycle: OpsPerCycle
+    pipeline_depth: Cycles = Cycles(1.0)
+    _next_issue: Cycles = field(default=Cycles(0.0), repr=False)
+    total_ops: Ops = field(default=Ops(0), repr=False)
+    busy_cycles: Cycles = field(default=Cycles(0.0), repr=False)
 
     def __post_init__(self) -> None:
         if self.ops_per_cycle <= 0:
@@ -111,30 +113,30 @@ class ThroughputUnit:
         if self.pipeline_depth < 0:
             raise ValueError(f"{self.name}: pipeline depth must be non-negative")
 
-    def issue(self, arrival: float, ops: float = 1.0) -> float:
+    def issue(self, arrival: Cycles, ops: Ops = Ops(1.0)) -> Cycles:
         """Issue ``ops`` back-to-back operations; return completion time."""
         if ops < 0:
             raise ValueError("negative op count")
         start = max(arrival, self._next_issue)
         occupancy = ops / self.ops_per_cycle
-        self._next_issue = start + occupancy
-        self.total_ops += int(ops)
-        self.busy_cycles += occupancy
-        return self._next_issue + self.pipeline_depth
+        self._next_issue = Cycles(start + occupancy)
+        self.total_ops = Ops(self.total_ops + int(ops))
+        self.busy_cycles = Cycles(self.busy_cycles + occupancy)
+        return Cycles(self._next_issue + self.pipeline_depth)
 
     @property
-    def next_issue(self) -> float:
+    def next_issue(self) -> Cycles:
         return self._next_issue
 
-    def utilization(self, elapsed: float) -> float:
+    def utilization(self, elapsed: Cycles) -> float:
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_cycles / elapsed)
 
     def reset(self) -> None:
-        self._next_issue = 0.0
-        self.total_ops = 0
-        self.busy_cycles = 0.0
+        self._next_issue = Cycles(0.0)
+        self.total_ops = Ops(0)
+        self.busy_cycles = Cycles(0.0)
 
 
 @dataclass
@@ -150,10 +152,10 @@ class RequestQueue:
 
     name: str
     capacity: int
-    drain_rate: float = 1.0
-    _occupancy_free_at: float = field(default=0.0, repr=False)
+    drain_rate: OpsPerCycle = OpsPerCycle(1.0)
+    _occupancy_free_at: Cycles = field(default=Cycles(0.0), repr=False)
     total_enqueued: int = field(default=0, repr=False)
-    total_stall_cycles: float = field(default=0.0, repr=False)
+    total_stall_cycles: Cycles = field(default=Cycles(0.0), repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -161,7 +163,7 @@ class RequestQueue:
         if self.drain_rate <= 0:
             raise ValueError(f"{self.name}: drain rate must be positive")
 
-    def enqueue(self, arrival: float) -> float:
+    def enqueue(self, arrival: Cycles) -> Cycles:
         """Admit one request; return the cycle at which it is admitted.
 
         The queue drains ``drain_rate`` entries per cycle, so an entry that
@@ -172,17 +174,18 @@ class RequestQueue:
         """
         # The queue holds (free_at - t) * drain_rate entries at time t; a
         # new entry is admitted once at most capacity - 1 remain queued.
-        earliest_slot = (
-            self._occupancy_free_at - (self.capacity - 1) / self.drain_rate
-        )
+        buffered = Ops(float(self.capacity - 1))
+        earliest_slot = self._occupancy_free_at - buffered / self.drain_rate
         admitted = max(arrival, earliest_slot)
         stall = admitted - arrival
-        self._occupancy_free_at = max(self._occupancy_free_at, admitted) + 1.0 / self.drain_rate
+        self._occupancy_free_at = Cycles(
+            max(self._occupancy_free_at, admitted) + Ops(1.0) / self.drain_rate
+        )
         self.total_enqueued += 1
-        self.total_stall_cycles += stall
+        self.total_stall_cycles = Cycles(self.total_stall_cycles + stall)
         return admitted
 
     def reset(self) -> None:
-        self._occupancy_free_at = 0.0
+        self._occupancy_free_at = Cycles(0.0)
         self.total_enqueued = 0
-        self.total_stall_cycles = 0.0
+        self.total_stall_cycles = Cycles(0.0)

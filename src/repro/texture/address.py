@@ -15,6 +15,7 @@ from enum import Enum
 from typing import Tuple
 
 from repro.texture.mipmap import MipmapChain
+from repro.units import Bytes
 
 
 class TextureLayout(Enum):
@@ -83,14 +84,14 @@ class TexelAddressMap:
         tile_index = tile_y * tiles_per_row + tile_x
         return tile_index * tile * tile + in_y * tile + in_x
 
-    def line_address(self, address: int, line_bytes: int = 64) -> int:
+    def line_address(self, address: int, line_bytes: Bytes = 64) -> int:
         """Cache-line-aligned address containing ``address``."""
         if line_bytes <= 0:
             raise ValueError("line size must be positive")
         return (address // line_bytes) * line_bytes
 
     def texel_line(
-        self, chain: MipmapChain, level: int, x: int, y: int, line_bytes: int = 64
+        self, chain: MipmapChain, level: int, x: int, y: int, line_bytes: Bytes = 64
     ) -> int:
         """Cache line holding texel (x, y) of ``level``."""
         return self.line_address(self.texel_address(chain, level, x, y), line_bytes)

@@ -19,6 +19,7 @@ from enum import Enum
 from typing import Dict, Optional
 
 from repro.texture.lod import quantize_angle
+from repro.units import Bits, Bytes, Radians
 
 
 class CacheAccessResult(Enum):
@@ -39,10 +40,10 @@ class CacheAccessResult(Enum):
 class CacheConfig:
     """Geometry of one texture cache."""
 
-    size_bytes: int
-    line_bytes: int = 64
+    size_bytes: Bytes
+    line_bytes: Bytes = 64
     associativity: int = 16
-    angle_bits: int = 7
+    angle_bits: Bits = 7
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
@@ -59,7 +60,7 @@ class CacheConfig:
         return self.num_lines // self.associativity
 
     @property
-    def angle_storage_bytes(self) -> float:
+    def angle_storage_bytes(self) -> Bytes:
         """Extra storage for per-line camera angles (section VII-E)."""
         return self.num_lines * self.angle_bits / 8.0
 
@@ -102,7 +103,7 @@ class TextureCache:
         self,
         address: int,
         angle: Optional[float] = None,
-        angle_threshold: Optional[float] = None,
+        angle_threshold: Optional[Radians] = None,
     ) -> CacheAccessResult:
         """Access the line containing ``address``; fill on miss.
 

@@ -17,6 +17,7 @@ real as A-TFIM's angle-threshold cost.
 """
 
 from __future__ import annotations
+from repro.units import Bytes
 
 from dataclasses import dataclass
 
@@ -34,8 +35,8 @@ NUM_INDEX_LEVELS = 4
 class CompressionStats:
     """Size accounting for one compressed texture."""
 
-    uncompressed_bytes: int
-    compressed_bytes: int
+    uncompressed_bytes: Bytes
+    compressed_bytes: Bytes
 
     @property
     def ratio(self) -> float:
@@ -114,9 +115,9 @@ def compress_image(image: np.ndarray) -> tuple[np.ndarray, CompressionStats]:
     return reconstructed, stats
 
 
-def compressed_line_bytes(line_bytes: int = 64) -> float:
+def compressed_line_bytes(line_bytes: Bytes = Bytes(64)) -> Bytes:
     """Bytes a cache-line's worth of texels costs over the bus when the
     texture is stored compressed (fixed-rate, so a constant fraction)."""
     if line_bytes <= 0:
         raise ValueError("line size must be positive")
-    return line_bytes / COMPRESSION_RATIO
+    return Bytes(line_bytes / COMPRESSION_RATIO)

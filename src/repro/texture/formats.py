@@ -1,6 +1,7 @@
 """Texel formats and cache-line packing arithmetic."""
 
 from __future__ import annotations
+from repro.units import Bytes
 
 from dataclasses import dataclass
 
@@ -25,7 +26,7 @@ class TexelFormat:
         if self.components <= 0:
             raise ValueError("component count must be positive")
 
-    def texels_per_line(self, line_bytes: int) -> int:
+    def texels_per_line(self, line_bytes: Bytes) -> int:
         """How many texels fit in one cache line."""
         if line_bytes < self.bytes_per_texel:
             raise ValueError("cache line smaller than one texel")

@@ -16,6 +16,7 @@ anisotropic filtering (Mavridis & Papaioannou, the paper's [31]).
 """
 
 from __future__ import annotations
+from repro.units import Bits, Radians
 
 import math
 from dataclasses import dataclass
@@ -134,7 +135,7 @@ def camera_angle_from_normal(nx: float, ny: float, nz: float,
     return angle
 
 
-def quantize_angle(angle: float, bits: int = 7) -> float:
+def quantize_angle(angle: Radians, bits: Bits = 7) -> float:
     """Quantise an angle in [0, pi/2] to ``bits`` bits, as the cache does.
 
     Section VII-E: 7 bits per cache line record the camera angle with ~1

@@ -14,6 +14,7 @@ from typing import List
 import numpy as np
 
 from repro.texture.texture import Texture
+from repro.units import Bytes
 
 
 def downsample_box(image: np.ndarray) -> np.ndarray:
@@ -85,7 +86,7 @@ class MipmapChain:
         return self.levels[clamped]
 
     @property
-    def total_bytes(self) -> int:
+    def total_bytes(self) -> Bytes:
         last = self.levels[-1]
         bytes_per_texel = self.texture.fmt.bytes_per_texel
         return last.byte_offset + last.width * last.height * bytes_per_texel

@@ -8,6 +8,7 @@ from typing import Optional
 import numpy as np
 
 from repro.texture.formats import RGBA8, TexelFormat
+from repro.units import Bytes
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -50,7 +51,7 @@ class Texture:
         return self.data.shape[0]
 
     @property
-    def size_bytes(self) -> int:
+    def size_bytes(self) -> Bytes:
         return self.width * self.height * self.fmt.bytes_per_texel
 
     def texel(self, x: int, y: int) -> np.ndarray:

@@ -70,9 +70,70 @@ class TestSeededViolations:
 
     def test_rules_and_invariants_listings(self, capsys):
         assert analysis_main(["rules"]) == 0
-        assert "REP101" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "REP101" in out
+        assert "REP200" in out
         assert analysis_main(["invariants"]) == 0
         assert "texel-balance" in capsys.readouterr().out
+
+
+class TestPlantedUnitViolations:
+    """The unit dataflow pass must catch a planted bytes+cycles bug
+    end-to-end: real files on disk, lint_paths, the same entry point CI
+    uses."""
+
+    def _plant(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "sim" / "planted.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            textwrap.dedent(
+                """
+                from repro.units import Bytes, Cycles
+
+
+                def _ready_time(nbytes: Bytes, latency: Cycles) -> float:
+                    # Classic transcription bug: adding a size to a time.
+                    return nbytes + latency
+                """
+            )
+        )
+        return bad
+
+    def test_planted_bytes_plus_cycles_is_caught(self, tmp_path):
+        bad = self._plant(tmp_path)
+        findings = lint_paths([bad])
+        assert "REP200" in {f.rule_id for f in findings}
+
+    def test_cli_exits_nonzero_and_select_filters(self, tmp_path, capsys):
+        self._plant(tmp_path)
+        exit_code = analysis_main(["lint", "--select", "REP2", str(tmp_path)])
+        assert exit_code == 1
+        assert "REP200" in capsys.readouterr().out
+
+    def test_cli_select_rejects_unknown_prefix(self, tmp_path, capsys):
+        self._plant(tmp_path)
+        assert analysis_main(["lint", "--select", "XYZ", str(tmp_path)]) == 2
+
+    def test_cli_sarif_output(self, tmp_path, capsys):
+        import json
+
+        self._plant(tmp_path)
+        report = tmp_path / "lint.sarif"
+        exit_code = analysis_main(
+            ["lint", "--format", "sarif", "--output", str(report), str(tmp_path)]
+        )
+        assert exit_code == 1
+        sarif = json.loads(report.read_text())
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids_in_driver = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"REP100", "REP200", "REP207"} <= rule_ids_in_driver
+        results = run["results"]
+        assert any(result["ruleId"] == "REP200" for result in results)
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("planted.py")
+        assert location["region"]["startLine"] > 0
 
 
 class TestInvariantsOnRenders:

@@ -1,0 +1,353 @@
+"""Positive/negative/noqa fixtures for the REP200-series unit rules.
+
+Each rule gets at least one source that must fire, one that must stay
+silent, and a ``# repro: noqa(...)`` suppression check.  Fixtures are
+written as annotated simulator-style functions because the dataflow
+pass is deliberately conservative: it only reports when both sides of
+an operation have known units.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.linter import lint_source
+from repro.analysis.rules import rule_ids
+from repro.analysis.units import unit_rule_ids
+
+SIM_PATH = "src/repro/sim/example.py"
+
+PRELUDE = """
+from repro.units import (
+    Bytes,
+    BytesPerCycle,
+    Cycles,
+    Degrees,
+    Picojoules,
+    Radians,
+)
+"""
+
+
+def findings_for(source: str, path: str = SIM_PATH):
+    return lint_source(PRELUDE + textwrap.dedent(source), path)
+
+
+def ids_for(source: str, path: str = SIM_PATH):
+    return [finding.rule_id for finding in findings_for(source, path)]
+
+
+class TestRegistry:
+    def test_unit_rule_ids_are_registered(self):
+        ids = set(rule_ids())
+        for rule_id in unit_rule_ids():
+            assert rule_id in ids
+
+    def test_eight_unit_rules(self):
+        assert len(unit_rule_ids()) == 8
+
+
+class TestRep200ArithmeticMismatch:
+    def test_bytes_plus_cycles_flagged(self):
+        assert "REP200" in ids_for(
+            """
+            def _mix(size: Bytes, wait: Cycles) -> float:
+                return size + wait
+            """
+        )
+
+    def test_same_unit_addition_allowed(self):
+        assert "REP200" not in ids_for(
+            """
+            def _total(first: Bytes, second: Bytes) -> Bytes:
+                return Bytes(first + second)
+            """
+        )
+
+    def test_scalar_plus_unit_allowed(self):
+        assert "REP200" not in ids_for(
+            """
+            def _pad(size: Bytes, extra: float) -> float:
+                return size + extra
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP200" not in ids_for(
+            """
+            def _mix(size: Bytes, wait: Cycles) -> float:
+                return size + wait  # repro: noqa(REP200)
+            """
+        )
+
+
+class TestRep201ComparisonMismatch:
+    def test_bytes_less_than_cycles_flagged(self):
+        assert "REP201" in ids_for(
+            """
+            def _cmp(size: Bytes, wait: Cycles) -> bool:
+                return size < wait
+            """
+        )
+
+    def test_min_across_units_flagged(self):
+        assert "REP201" in ids_for(
+            """
+            def _first(size: Bytes, wait: Cycles) -> float:
+                return min(size, wait)
+            """
+        )
+
+    def test_same_unit_comparison_allowed(self):
+        assert "REP201" not in ids_for(
+            """
+            def _cmp(first: Cycles, second: Cycles) -> bool:
+                return first < second
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP201" not in ids_for(
+            """
+            def _cmp(size: Bytes, wait: Cycles) -> bool:
+                return size < wait  # repro: noqa(REP201)
+            """
+        )
+
+
+class TestRep202DimensionWrongMul:
+    def test_bytes_times_bytes_flagged(self):
+        assert "REP202" in ids_for(
+            """
+            def _area(first: Bytes, second: Bytes) -> float:
+                return first * second
+            """
+        )
+
+    def test_rate_times_cycles_allowed(self):
+        assert "REP202" not in ids_for(
+            """
+            def _moved(rate: BytesPerCycle, wait: Cycles) -> Bytes:
+                return Bytes(rate * wait)
+            """
+        )
+
+    def test_scalar_scaling_allowed(self):
+        assert "REP202" not in ids_for(
+            """
+            def _scaled(size: Bytes, factor: float) -> float:
+                return size * factor
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP202" not in ids_for(
+            """
+            def _area(first: Bytes, second: Bytes) -> float:
+                return first * second  # repro: noqa(REP202)
+            """
+        )
+
+
+class TestRep203DimensionWrongDiv:
+    def test_cycles_over_bytes_per_cycle_flagged(self):
+        assert "REP203" in ids_for(
+            """
+            def _odd(wait: Cycles, rate: BytesPerCycle) -> float:
+                return wait / rate
+            """
+        )
+
+    def test_bytes_over_rate_allowed(self):
+        assert "REP203" not in ids_for(
+            """
+            def _occupancy(size: Bytes, rate: BytesPerCycle) -> Cycles:
+                return Cycles(size / rate)
+            """
+        )
+
+    def test_ratio_of_same_unit_allowed(self):
+        assert "REP203" not in ids_for(
+            """
+            def _utilization(busy: Cycles, elapsed: Cycles) -> float:
+                return busy / elapsed
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP203" not in ids_for(
+            """
+            def _odd(wait: Cycles, rate: BytesPerCycle) -> float:
+                return wait / rate  # repro: noqa(REP203)
+            """
+        )
+
+
+class TestRep204AngleConfusion:
+    def test_degrees_plus_radians_flagged(self):
+        ids = ids_for(
+            """
+            def _sum(tilt: Degrees, threshold: Radians) -> float:
+                return tilt + threshold
+            """
+        )
+        assert "REP204" in ids
+        assert "REP200" not in ids  # upgraded, not double-reported
+
+    def test_trig_on_degrees_flagged(self):
+        assert "REP204" in ids_for(
+            """
+            import math
+
+            def _project(tilt: Degrees) -> float:
+                return math.sin(tilt)
+            """
+        )
+
+    def test_double_conversion_flagged(self):
+        assert "REP204" in ids_for(
+            """
+            import math
+
+            def _convert(threshold: Radians) -> float:
+                return math.radians(threshold)
+            """
+        )
+
+    def test_trig_on_radians_allowed(self):
+        assert "REP204" not in ids_for(
+            """
+            import math
+
+            def _project(threshold: Radians) -> float:
+                return math.sin(threshold)
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP204" not in ids_for(
+            """
+            def _sum(tilt: Degrees, threshold: Radians) -> float:
+                return tilt + threshold  # repro: noqa(REP204)
+            """
+        )
+
+
+class TestRep205UntaggedQuantity:
+    def test_unit_named_param_without_alias_flagged(self):
+        assert "REP205" in ids_for(
+            """
+            def serve(latency: float) -> None:
+                pass
+            """
+        )
+
+    def test_alias_annotation_satisfies(self):
+        assert "REP205" not in ids_for(
+            """
+            def serve(latency: Cycles) -> None:
+                pass
+            """
+        )
+
+    def test_private_function_exempt(self):
+        assert "REP205" not in ids_for(
+            """
+            def _serve(latency: float) -> None:
+                pass
+            """
+        )
+
+    def test_untagged_package_exempt(self):
+        assert "REP205" not in ids_for(
+            """
+            def serve(latency: float) -> None:
+                pass
+            """,
+            path="src/repro/workloads/example.py",
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP205" not in ids_for(
+            """
+            def serve(latency: float) -> None:  # repro: noqa(REP205)
+                pass
+            """
+        )
+
+
+class TestRep206CallUnitMismatch:
+    def test_bytes_passed_for_cycles_flagged(self):
+        assert "REP206" in ids_for(
+            """
+            def _serve(arrival: Cycles) -> Cycles:
+                return arrival
+
+            def _caller(size: Bytes) -> Cycles:
+                return _serve(size)
+            """
+        )
+
+    def test_matching_unit_allowed(self):
+        assert "REP206" not in ids_for(
+            """
+            def _serve(arrival: Cycles) -> Cycles:
+                return arrival
+
+            def _caller(now: Cycles) -> Cycles:
+                return _serve(now)
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP206" not in ids_for(
+            """
+            def _serve(arrival: Cycles) -> Cycles:
+                return arrival
+
+            def _caller(size: Bytes) -> Cycles:
+                return _serve(size)  # repro: noqa(REP206)
+            """
+        )
+
+
+class TestRep207DeclaredUnitMismatch:
+    def test_returning_wrong_unit_flagged(self):
+        assert "REP207" in ids_for(
+            """
+            def _elapsed(size: Bytes) -> Cycles:
+                return size
+            """
+        )
+
+    def test_annotated_assignment_mismatch_flagged(self):
+        assert "REP207" in ids_for(
+            """
+            def _store(wait: Cycles) -> None:
+                size: Bytes = wait
+            """
+        )
+
+    def test_matching_return_allowed(self):
+        assert "REP207" not in ids_for(
+            """
+            def _elapsed(wait: Cycles) -> Cycles:
+                return wait
+            """
+        )
+
+    def test_explicit_cast_allowed(self):
+        assert "REP207" not in ids_for(
+            """
+            def _elapsed(size: Bytes, rate: BytesPerCycle) -> Cycles:
+                return Cycles(size / rate)
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert "REP207" not in ids_for(
+            """
+            def _elapsed(size: Bytes) -> Cycles:
+                return size  # repro: noqa(REP207)
+            """
+        )

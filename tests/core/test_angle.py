@@ -50,3 +50,64 @@ class TestAngleThreshold:
 
     def test_str(self):
         assert str(THRESHOLD_001PI) == "A-TFIM-001pi"
+
+
+class TestDegreeRadianRoundTrips:
+    def test_every_finite_threshold_round_trips(self):
+        for threshold in THRESHOLD_SWEEP:
+            if threshold.radians is None:
+                continue
+            assert math.radians(threshold.degrees) == pytest.approx(
+                threshold.radians
+            )
+            assert math.degrees(threshold.radians) == pytest.approx(
+                threshold.degrees
+            )
+
+    def test_zero_degrees_is_zero_radians(self):
+        zero = AngleThreshold(label="zero", radians=0.0)
+        assert zero.degrees == pytest.approx(0.0)
+        assert zero.effective_radians == 0.0
+
+    def test_ninety_degrees_is_half_pi(self):
+        right = AngleThreshold(label="right", radians=math.pi / 2)
+        assert right.degrees == pytest.approx(90.0)
+        assert math.radians(right.degrees) == pytest.approx(math.pi / 2)
+
+
+class TestReusePredicate:
+    def test_difference_within_threshold_reuses(self):
+        assert DEFAULT_THRESHOLD.reuse_allowed(0.005 * math.pi)
+
+    def test_difference_beyond_threshold_recalculates(self):
+        assert not DEFAULT_THRESHOLD.reuse_allowed(0.02 * math.pi)
+
+    def test_boundary_difference_reuses(self):
+        # Exactly at the threshold: reuse (the check is <=).
+        assert DEFAULT_THRESHOLD.reuse_allowed(DEFAULT_THRESHOLD.radians)
+
+    def test_zero_difference_always_reuses(self):
+        for threshold in THRESHOLD_SWEEP:
+            assert threshold.reuse_allowed(0.0)
+
+    def test_sign_of_difference_does_not_matter(self):
+        assert DEFAULT_THRESHOLD.reuse_allowed(-0.005 * math.pi)
+        assert not DEFAULT_THRESHOLD.reuse_allowed(-0.02 * math.pi)
+
+    def test_zero_threshold_only_reuses_identical_angles(self):
+        zero = AngleThreshold(label="zero", radians=0.0)
+        assert zero.reuse_allowed(0.0)
+        assert not zero.reuse_allowed(1e-9)
+
+    def test_no_recalculation_reuses_everything(self):
+        for difference in (0.0, 0.5 * math.pi, math.pi, -math.pi):
+            assert THRESHOLD_NO_RECALC.reuse_allowed(difference)
+
+    def test_strictness_ordering(self):
+        # A difference of 2 degrees: rejected by the two strictest
+        # settings, accepted by the looser ones.
+        difference = math.radians(2.0)
+        decisions = [
+            threshold.reuse_allowed(difference) for threshold in THRESHOLD_SWEEP
+        ]
+        assert decisions == [False, False, True, True, True]

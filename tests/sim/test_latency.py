@@ -1,0 +1,61 @@
+"""Tests for the O(1) histogram bucket index.
+
+The histogram used to scan bucket thresholds linearly; the closed-form
+``bit_length`` index must assign every latency to exactly the bucket the
+scan did.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.latency import LatencyHistogram, bucket_index
+
+
+def _linear_scan_bucket(latency: float, num_buckets: int) -> int:
+    """The original implementation: walk the power-of-two thresholds."""
+    index = 0
+    threshold = 1.0
+    while latency >= threshold and index < num_buckets - 1:
+        index += 1
+        threshold *= 2.0
+    return index
+
+
+class TestBucketIndexRegression:
+    @pytest.mark.parametrize("num_buckets", [2, 4, 24])
+    def test_matches_linear_scan_on_integer_latencies(self, num_buckets):
+        for latency in range(0, 4096):
+            assert bucket_index(float(latency), num_buckets) == (
+                _linear_scan_bucket(float(latency), num_buckets)
+            ), latency
+
+    @pytest.mark.parametrize(
+        "latency",
+        [0.0, 0.25, 0.999, 1.0, 1.5, 2.0, 3.999, 4.0, 1023.5, 1024.0, 1e12],
+    )
+    def test_matches_linear_scan_on_float_latencies(self, latency):
+        assert bucket_index(latency, 24) == _linear_scan_bucket(latency, 24)
+
+    def test_exact_powers_of_two_open_a_new_bucket(self):
+        for exponent in range(0, 20):
+            latency = float(2**exponent)
+            assert bucket_index(latency, 24) == exponent + 1
+            # Just below the boundary stays in the previous bucket.
+            assert bucket_index(latency - 0.5, 24) == exponent
+
+    def test_sub_cycle_latencies_land_in_bucket_zero(self):
+        assert bucket_index(0.0, 24) == 0
+        assert bucket_index(0.999, 24) == 0
+
+    def test_saturates_at_last_bucket(self):
+        assert bucket_index(1e18, 4) == 3
+
+    def test_histogram_uses_the_same_assignment(self):
+        hist = LatencyHistogram("lat", num_buckets=8)
+        for latency in (0.5, 1.5, 3.0, 100.0, 1e9):
+            hist.observe(latency)
+        expected = [0] * 8
+        for latency in (0.5, 1.5, 3.0, 100.0, 1e9):
+            expected[_linear_scan_bucket(latency, 8)] += 1
+        assert hist.buckets == expected
