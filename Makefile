@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-units lint-sarif test check rules invariants
+.PHONY: lint lint-units lint-sarif test check rules invariants bench
 
 lint:
 	$(PYTHON) -m repro.analysis lint
@@ -20,5 +20,8 @@ invariants:
 
 test:
 	REPRO_CHECK_INVARIANTS=1 $(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m repro bench
 
 check: lint test

@@ -17,6 +17,16 @@ counters, so the counters themselves must obey conservation laws:
 * ``cache-sanity`` — cache hit/miss accounting is internally consistent
   and hit rates stay inside [0, 1].
 
+One further drain-time invariant operates on the functional sampler
+rather than on a :class:`~repro.core.frontend.DesignRun`:
+
+* ``batch-fetch-parity`` — the batched (numpy-vectorised) filtering
+  kernels of :mod:`repro.texture.batch` produce bit-identical colors to
+  the scalar oracle and touch exactly the same per-fragment texel sets
+  (hence equal fetch counts).  The batched renderer validates a
+  deterministic sample of every frame at drain time via
+  :func:`check_batch_scalar_parity` when checking is enabled.
+
 Checks run against a finished :class:`~repro.core.frontend.DesignRun`
 (drain time: all events retired, all counters final).  Enable them with
 ``--check-invariants`` on the CLI or ``REPRO_CHECK_INVARIANTS=1`` in the
@@ -284,6 +294,66 @@ def _check_cache_sanity(run: "object") -> Iterator[str]:
             f"L2 recorded {l2_outcomes} outcomes for {expected_l2} "
             "forwarded L1 misses"
         )
+
+
+# ---------------------------------------------------------------------------
+# batch-fetch-parity: the vectorised sampler matches the scalar oracle.
+# ---------------------------------------------------------------------------
+
+BATCH_PARITY_INVARIANT = "batch-fetch-parity"
+
+
+def check_batch_scalar_parity(
+    entries: List[tuple], raise_on_violation: bool = True
+) -> List[InvariantViolation]:
+    """Validate batch-vs-scalar sampler parity for a sampled fragment set.
+
+    ``entries`` holds one tuple per checked fragment:
+    ``(request_index, batch_color, scalar_color, batch_texels,
+    scalar_texels)`` where the colors are RGBA vectors and the texel
+    collections are the deduplicated ``(level, x, y)`` fetch sets of
+    each path.  A violation is reported when colors differ in any bit
+    or the fetch sets (and therefore the fetch counts the cycle model
+    bills for) diverge.
+    """
+    violations: List[InvariantViolation] = []
+    for index, batch_color, scalar_color, batch_texels, scalar_texels in entries:
+        if tuple(batch_color) != tuple(scalar_color):
+            violations.append(
+                InvariantViolation(
+                    invariant=BATCH_PARITY_INVARIANT,
+                    message=(
+                        f"request {index}: batch color {tuple(batch_color)} "
+                        f"!= scalar color {tuple(scalar_color)}"
+                    ),
+                )
+            )
+        if len(batch_texels) != len(scalar_texels):
+            violations.append(
+                InvariantViolation(
+                    invariant=BATCH_PARITY_INVARIANT,
+                    message=(
+                        f"request {index}: batch path fetched "
+                        f"{len(batch_texels)} unique texels but the scalar "
+                        f"path fetched {len(scalar_texels)}"
+                    ),
+                )
+            )
+        elif set(batch_texels) != set(scalar_texels):
+            extra = sorted(set(batch_texels) - set(scalar_texels))[:4]
+            missing = sorted(set(scalar_texels) - set(batch_texels))[:4]
+            violations.append(
+                InvariantViolation(
+                    invariant=BATCH_PARITY_INVARIANT,
+                    message=(
+                        f"request {index}: fetch sets diverge "
+                        f"(batch-only {extra}, scalar-only {missing})"
+                    ),
+                )
+            )
+    if violations and raise_on_violation:
+        raise InvariantError(violations)
+    return violations
 
 
 # ---------------------------------------------------------------------------

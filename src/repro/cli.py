@@ -7,6 +7,12 @@ Subcommands:
   print the comparison.
 * ``fig <id>`` -- regenerate one figure's table (e.g. ``fig 10``).
 * ``report`` -- run every experiment and write EXPERIMENTS.md.
+* ``bench`` -- time the batched sampler and cached runner, writing
+  ``BENCH_sampling.json`` / ``BENCH_runner.json``.
+
+``report``, ``fig`` and ``bench`` accept ``--jobs N`` to fan design-point
+simulations out over processes; ``report`` persists results under
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``) so reruns are incremental.
 """
 
 from __future__ import annotations
@@ -79,6 +85,12 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     names = FAST_WORKLOADS if args.fast else None
     if args.id == "overhead":
         data = module.run()
+    elif args.jobs and args.jobs > 1:
+        from repro.experiments.report import grid_keys
+
+        runner = ExperimentRunner(names, jobs=args.jobs)
+        runner.run_many(grid_keys(runner), jobs=args.jobs)
+        data = module.run(runner)
     else:
         data = module.run(workload_names=names)
     print(data.title)
@@ -118,9 +130,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
         path=args.output,
         workload_names=names,
         include_quality=not args.no_quality,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     print(f"wrote {path}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import run_bench
+
+    return run_bench(
+        fast=args.fast,
+        jobs=args.jobs,
+        min_speedup=args.min_speedup,
+        output_dir=args.output_dir,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("fig", help="regenerate one figure")
     fig.add_argument("id", help="figure id (2,4,5,10-16,overhead)")
     fig.add_argument("--fast", action="store_true", help="3-workload subset")
+    fig.add_argument("--jobs", type=int, default=None,
+                     help="prefetch the design grid over N processes")
     fig.set_defaults(func=_cmd_fig)
 
     render = sub.add_parser("render", help="render a frame to a PPM image")
@@ -165,7 +192,26 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--fast", action="store_true", help="3-workload subset")
     report.add_argument("--no-quality", action="store_true",
                         help="skip the (slow) PSNR study")
+    report.add_argument("--jobs", type=int, default=None,
+                        help="simulate design grid points over N processes")
+    report.add_argument("--cache-dir", default=None,
+                        help="persist traces/runs here (default: "
+                        "$REPRO_CACHE_DIR if set, else no disk cache)")
     report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="time batched sampler + cached runner, write BENCH_*.json"
+    )
+    bench.add_argument("--fast", action="store_true",
+                       help="single-workload smoke configuration (CI)")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="parallel workers for the cold runner benchmark")
+    bench.add_argument("--min-speedup", type=float, default=1.0,
+                       help="fail if the batched exact sampler's slowest "
+                       "workload speedup is below this factor")
+    bench.add_argument("--output-dir", default=".",
+                       help="directory for BENCH_*.json (default: cwd)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

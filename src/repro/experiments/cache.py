@@ -1,0 +1,152 @@
+"""Content-addressed on-disk cache for experiment artefacts.
+
+Traces and :class:`~repro.core.frontend.DesignRun` results are pure
+functions of (workload, design point, simulator source), so they can be
+persisted across processes and sessions.  Keys are SHA-256 digests over a
+canonical JSON payload that always includes :func:`source_version` -- a
+digest of every ``.py`` file in the ``repro`` package -- so editing the
+simulator silently invalidates every stale entry instead of serving wrong
+results.
+
+The cache root resolves, in order: the explicit ``root`` argument, the
+``REPRO_CACHE_DIR`` environment variable, then ``.repro-cache`` under the
+current working directory.  Entries are pickle files sharded by the first
+two hex digits of the key; stores are atomic (temp file + ``os.replace``)
+so parallel workers never observe torn writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+_SOURCE_VERSION: Optional[str] = None
+
+_MISS = object()
+"""Sentinel distinguishing "no entry" from a legitimately-None value."""
+
+
+def source_version() -> str:
+    """Digest of the repro package's source tree (first 16 hex chars).
+
+    Computed once per process over every ``*.py`` file (sorted by
+    relative path, hashing path + contents) so any code change yields a
+    new namespace of cache keys.
+    """
+    global _SOURCE_VERSION
+    if _SOURCE_VERSION is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _SOURCE_VERSION = digest.hexdigest()[:16]
+    return _SOURCE_VERSION
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`DiskCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of loads served from disk (0.0 when never consulted)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class DiskCache:
+    """Pickle-backed content-addressed store under a root directory."""
+
+    root: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.root is None:
+            env = os.environ.get("REPRO_CACHE_DIR")
+            self.root = Path(env) if env else Path.cwd() / ".repro-cache"
+        else:
+            self.root = Path(self.root)
+
+    def key(self, category: str, **payload: Any) -> str:
+        """Content key: SHA-256 over category + source version + payload."""
+        body = dict(payload)
+        body["category"] = category
+        body["source"] = source_version()
+        canonical = json.dumps(body, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupt entries count as misses."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+            # A torn or stale-format entry: treat as a miss (it will be
+            # recomputed and overwritten) but record that it happened.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        self.stats.stores += 1
+
+    def get_or_compute(self, key: str, compute) -> Any:
+        """Load ``key`` or run ``compute()`` and persist its result."""
+        hit, value = self.load(key)
+        if hit:
+            return value
+        value = compute()
+        self.store(key, value)
+        return value
+
+    # Introspection -----------------------------------------------------
+
+    def entries(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def total_bytes(self) -> int:
+        """Bytes occupied by all entries on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("*/*.pkl"))

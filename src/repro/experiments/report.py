@@ -25,15 +25,22 @@ from repro.experiments import (
     overhead_analysis,
     tables,
 )
+from repro.core import Design
+from repro.core.angle import DEFAULT_THRESHOLD, THRESHOLD_SWEEP
 from repro.experiments.common import FigureData
-from repro.experiments.runner import FAST_WORKLOADS, ExperimentRunner
+from repro.experiments.runner import FAST_WORKLOADS, ExperimentRunner, RunKey
 from repro.experiments.validate import summarize, validate
 
 HEADER = """# EXPERIMENTS — paper vs. measured
 
 Reproduction of every table and figure in "Processing-in-Memory Enabled
 Graphics Processors for 3D Rendering" (HPCA 2017).  Regenerate with
-`python -m repro report` (add `--fast` for the 3-workload subset).
+`python -m repro report` (add `--fast` for the 3-workload subset,
+`--jobs N` to simulate grid points in parallel).  Results are
+content-addressed: set `REPRO_CACHE_DIR` (or pass `--cache-dir`) to
+persist traces and design runs on disk, making reruns incremental --
+entries self-invalidate when the simulator source changes.  Timing of the
+batched sampler and this cache is reported by `python -m repro bench`.
 
 Absolute magnitudes come from a cycle-approximate model over procedurally
 generated miniature frames (see DESIGN.md sections 2 and 5), so the
@@ -41,6 +48,61 @@ claims to check are *shapes*: who wins, by roughly what factor, and where
 the crossovers fall.  Paper-quoted numbers are repeated next to each
 measurement.
 """
+
+
+def grid_keys(runner: ExperimentRunner) -> List[RunKey]:
+    """Every grid point the figure suite touches, for parallel prefetch.
+
+    Mirrors the slices taken by fig02-fig14 and the ablations: all four
+    designs at the default threshold, the fig04 aniso-off baseline, the
+    A-TFIM threshold sweep, MTU sharing ratios, and consolidation off.
+    """
+    default = DEFAULT_THRESHOLD.effective_radians
+    keys: List[RunKey] = []
+    for workload in runner.workloads:
+        name = workload.name
+        for design in Design:
+            keys.append(RunKey(name, design, default, True))
+        keys.append(RunKey(name, Design.BASELINE, default, False))
+        for threshold in THRESHOLD_SWEEP:
+            keys.append(
+                RunKey(name, Design.A_TFIM, threshold.effective_radians, True)
+            )
+        for ratio in (2, 4):
+            keys.append(
+                RunKey(name, Design.S_TFIM, default, True, mtu_share=ratio)
+            )
+        keys.append(
+            RunKey(
+                name, Design.A_TFIM, default, True, consolidation_enabled=False
+            )
+        )
+    # The sweep includes the default threshold, duplicating the design
+    # loop's A-TFIM point; dedup preserving first-seen order.
+    return list(dict.fromkeys(keys))
+
+
+def _cache_section(runner: ExperimentRunner) -> str:
+    """Runner cache-effectiveness summary appended to the report."""
+    stats = runner.cache_stats()
+    out = io.StringIO()
+    out.write("\n## Runner cache statistics\n\n")
+    out.write("```\n")
+    out.write(f"memoisation hits    {stats.memo_hits}\n")
+    out.write(f"memoisation misses  {stats.memo_misses}\n")
+    out.write(f"disk hits           {stats.disk_hits}\n")
+    out.write(f"disk misses         {stats.disk_misses}\n")
+    out.write(f"disk stores         {stats.disk_stores}\n")
+    out.write(f"disk entries        {stats.disk_entries}\n")
+    out.write(f"disk bytes          {stats.disk_bytes}\n")
+    out.write(f"disk hit rate       {stats.disk_hit_rate:.2f}\n")
+    out.write("```\n")
+    if runner.disk_cache is None:
+        out.write(
+            "\n*No persistent cache configured (set `REPRO_CACHE_DIR` or"
+            " pass `--cache-dir` to make reruns incremental).*\n"
+        )
+    return out.getvalue()
 
 
 def _figure_section(data: FigureData, precision: int = 3) -> str:
@@ -65,9 +127,19 @@ def generate(
     workload_names: Optional[Sequence[str]] = None,
     include_quality: bool = True,
     include_ablations: bool = True,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> str:
-    """Build the full EXPERIMENTS.md text."""
-    runner = ExperimentRunner(workload_names)
+    """Build the full EXPERIMENTS.md text.
+
+    With ``jobs > 1`` the whole design-point grid is prefetched through
+    :meth:`ExperimentRunner.run_many` before any figure renders, so the
+    expensive simulations run concurrently and the figures themselves
+    only hit warm caches.
+    """
+    runner = ExperimentRunner(workload_names, cache_dir=cache_dir, jobs=jobs)
+    if jobs is not None and jobs > 1:
+        runner.run_many(grid_keys(runner), jobs=jobs)
     sections: List[str] = [HEADER]
 
     sections.append("\n## Table I: simulator configuration\n\n```\n"
@@ -102,6 +174,8 @@ def generate(
         sections.append(_figure_section(ablations.anisotropy_cap(names[0])))
         sections.append(_figure_section(ablations.internal_bandwidth(names[0])))
 
+    sections.append(_cache_section(runner))
+
     return "".join(sections)
 
 
@@ -110,13 +184,16 @@ def write_report(
     workload_names: Optional[Sequence[str]] = None,
     include_quality: bool = True,
     include_ablations: bool = True,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Path:
     """Generate and write the report; return the output path."""
     # Timing the report generator itself (not simulated time) is the one
     # legitimate wall-clock read in the package; the elapsed note below
     # is informational and excluded from every measured quantity.
     started = time.time()  # repro: noqa(REP102) -- wall-clock timing of report generation, not sim time
-    text = generate(workload_names, include_quality, include_ablations)
+    text = generate(workload_names, include_quality, include_ablations,
+                    jobs=jobs, cache_dir=cache_dir)
     elapsed = time.time() - started  # repro: noqa(REP102) -- wall-clock timing of report generation, not sim time
     text += f"\n---\nGenerated in {elapsed:.0f} s.\n"
     output = Path(path)

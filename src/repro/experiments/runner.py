@@ -1,23 +1,40 @@
-"""Experiment runner with memoised design simulations.
+"""Experiment runner with memoised, disk-cached, parallel simulations.
 
 Most figures slice the same underlying grid -- (workload x design x
 threshold x aniso) -- so the runner memoises :func:`simulate_frame`
 results and the per-workload traces.  All experiments are deterministic;
-the cache is purely a time saver.
+the caches are purely time savers.
+
+Three layers, consulted in order:
+
+* an in-process memo (``RunKey`` -> result dictionaries, as before);
+* an optional on-disk :class:`~repro.experiments.cache.DiskCache`, keyed
+  by workload/config/source-version content hashes, so reruns of the
+  figure suite are incremental across processes and sessions (enable by
+  passing ``cache_dir`` or setting ``REPRO_CACHE_DIR``);
+* :meth:`ExperimentRunner.run_many`, which fans a batch of grid points
+  out over a ``ProcessPoolExecutor`` -- traces first (one per distinct
+  workload), then the design runs -- with workers communicating through
+  the disk cache rather than shipping multi-megabyte traces back.
 """
 
 from __future__ import annotations
 
-import math
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core import Design, DesignConfig, simulate_frame
+from repro.core import Design, simulate_frame
 from repro.core.angle import DEFAULT_THRESHOLD, AngleThreshold
 from repro.core.frontend import DesignRun
 from repro.energy import EnergyBreakdown, EnergyModel
+from repro.experiments.cache import DiskCache
 from repro.render.scene import Scene
 from repro.texture.requests import FragmentTrace
+from repro.units import Radians
 from repro.workloads import WORKLOADS, GameWorkload, workload_by_name
 
 FAST_WORKLOADS = ["doom3-640x480", "riddick-640x480", "wolfenstein-640x480"]
@@ -36,10 +53,86 @@ class RunKey:
     consolidation_enabled: bool = True
 
 
+@dataclass
+class RunnerCacheStats:
+    """Cache effectiveness counters for one :class:`ExperimentRunner`."""
+
+    memo_hits: int
+    memo_misses: int
+    disk_hits: int
+    disk_misses: int
+    disk_stores: int
+    disk_errors: int
+    disk_entries: int
+    disk_bytes: int
+
+    @property
+    def disk_hit_rate(self) -> float:
+        total = self.disk_hits + self.disk_misses
+        return self.disk_hits / total if total else 0.0
+
+
+def _run_payload(key: RunKey) -> Dict[str, Any]:
+    """Canonical JSON-able payload identifying one design run."""
+    return {
+        "workload": key.workload,
+        "design": key.design.name,
+        "angle_threshold": key.angle_threshold,
+        "aniso_enabled": key.aniso_enabled,
+        "mtu_share": key.mtu_share,
+        "consolidation_enabled": key.consolidation_enabled,
+    }
+
+
+def _trace_pair(
+    cache: DiskCache, workload: GameWorkload
+) -> Tuple[Scene, FragmentTrace]:
+    """Load (or generate and persist) a workload's scene + trace."""
+    trace_key = cache.key("trace", workload=workload.name)
+    hit, pair = cache.load(trace_key)
+    if not hit:
+        pair = workload.trace()
+        cache.store(trace_key, pair)
+    return pair
+
+
+def _worker_trace(workload_name: str, cache_root: str) -> str:
+    """Pool worker: ensure one workload's trace exists in the disk cache."""
+    cache = DiskCache(root=Path(cache_root))
+    _trace_pair(cache, workload_by_name(workload_name))
+    return workload_name
+
+
+def _worker_run(key: RunKey, cache_root: str) -> DesignRun:
+    """Pool worker: simulate one grid point, reading/writing the cache."""
+    cache = DiskCache(root=Path(cache_root))
+    run_key = cache.key("run", **_run_payload(key))
+    hit, run = cache.load(run_key)
+    if hit:
+        return run
+    workload = workload_by_name(key.workload)
+    scene, trace = _trace_pair(cache, workload)
+    config = workload.design_config(
+        key.design,
+        angle_threshold=key.angle_threshold,
+        aniso_enabled=key.aniso_enabled,
+        mtu_share=key.mtu_share,
+        consolidation_enabled=key.consolidation_enabled,
+    )
+    run = simulate_frame(scene, trace, config)
+    cache.store(run_key, run)
+    return run
+
+
 class ExperimentRunner:
     """Runs and memoises design simulations over the workload set."""
 
-    def __init__(self, workload_names: Optional[Sequence[str]] = None) -> None:
+    def __init__(
+        self,
+        workload_names: Optional[Sequence[str]] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        jobs: Optional[int] = None,
+    ) -> None:
         if workload_names is None:
             self.workloads: List[GameWorkload] = list(WORKLOADS)
         else:
@@ -48,11 +141,32 @@ class ExperimentRunner:
         self._runs: Dict[RunKey, DesignRun] = {}
         self._energy: Dict[RunKey, EnergyBreakdown] = {}
         self.energy_model = EnergyModel()
+        self.jobs = jobs
+        self.memo_hits = 0
+        self.memo_misses = 0
+        if cache_dir is None:
+            env = os.environ.get("REPRO_CACHE_DIR")
+            cache_dir = Path(env) if env else None
+        self._disk: Optional[DiskCache] = (
+            DiskCache(root=Path(cache_dir)) if cache_dir is not None else None
+        )
+
+    @property
+    def disk_cache(self) -> Optional[DiskCache]:
+        """The persistent cache, or ``None`` when running memo-only."""
+        return self._disk
 
     def trace(self, workload: GameWorkload) -> Tuple[Scene, FragmentTrace]:
-        if workload.name not in self._traces:
-            self._traces[workload.name] = workload.trace()
-        return self._traces[workload.name]
+        if workload.name in self._traces:
+            self.memo_hits += 1
+            return self._traces[workload.name]
+        self.memo_misses += 1
+        if self._disk is not None:
+            pair = _trace_pair(self._disk, workload)
+        else:
+            pair = workload.trace()
+        self._traces[workload.name] = pair
+        return pair
 
     def run(
         self,
@@ -63,7 +177,7 @@ class ExperimentRunner:
         mtu_share: int = 1,
         consolidation_enabled: bool = True,
     ) -> DesignRun:
-        """Simulate (memoised) one workload under one design point."""
+        """Simulate (memoised + disk-cached) one design point."""
         threshold = threshold or DEFAULT_THRESHOLD
         key = RunKey(
             workload=workload.name,
@@ -73,17 +187,107 @@ class ExperimentRunner:
             mtu_share=mtu_share,
             consolidation_enabled=consolidation_enabled,
         )
-        if key not in self._runs:
-            scene, trace = self.trace(workload)
-            config = workload.design_config(
-                design,
-                angle_threshold=threshold.effective_radians,
-                aniso_enabled=aniso_enabled,
-                mtu_share=mtu_share,
-                consolidation_enabled=consolidation_enabled,
-            )
-            self._runs[key] = simulate_frame(scene, trace, config)
-        return self._runs[key]
+        if key in self._runs:
+            self.memo_hits += 1
+            return self._runs[key]
+        self.memo_misses += 1
+        disk_key = None
+        if self._disk is not None:
+            disk_key = self._disk.key("run", **_run_payload(key))
+            hit, run = self._disk.load(disk_key)
+            if hit:
+                self._runs[key] = run
+                return run
+        scene, trace = self.trace(workload)
+        config = workload.design_config(
+            design,
+            angle_threshold=threshold.effective_radians,
+            aniso_enabled=aniso_enabled,
+            mtu_share=mtu_share,
+            consolidation_enabled=consolidation_enabled,
+        )
+        run = simulate_frame(scene, trace, config)
+        self._runs[key] = run
+        if self._disk is not None and disk_key is not None:
+            self._disk.store(disk_key, run)
+        return run
+
+    def run_many(
+        self,
+        keys: Sequence[RunKey],
+        jobs: Optional[int] = None,
+    ) -> Dict[RunKey, DesignRun]:
+        """Simulate a batch of grid points, fanning out across processes.
+
+        Two phases: first every distinct workload's trace is generated
+        (one worker each), then the design runs execute against the
+        now-warm cache.  Workers exchange artefacts through the disk
+        cache; when the runner has none configured, a temporary one
+        scoped to this call is used.  With ``jobs=1`` (or a single key)
+        everything runs in-process -- results are identical either way
+        because the whole pipeline is deterministic.
+        """
+        jobs = jobs if jobs is not None else self.jobs
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        results: Dict[RunKey, DesignRun] = {}
+        pending: List[RunKey] = []
+        for key in keys:
+            if key in self._runs:
+                self.memo_hits += 1
+                results[key] = self._runs[key]
+            elif key not in pending:
+                pending.append(key)
+        if not pending:
+            return results
+
+        if jobs <= 1 or len(pending) == 1:
+            for key in pending:
+                workload = workload_by_name(key.workload)
+                threshold = AngleThreshold(
+                    label=f"radians-{key.angle_threshold:.6f}",
+                    radians=Radians(key.angle_threshold),
+                )
+                results[key] = self.run(
+                    workload,
+                    key.design,
+                    threshold,
+                    aniso_enabled=key.aniso_enabled,
+                    mtu_share=key.mtu_share,
+                    consolidation_enabled=key.consolidation_enabled,
+                )
+            return results
+
+        self.memo_misses += len(pending)
+        scratch: Optional[tempfile.TemporaryDirectory] = None
+        if self._disk is not None:
+            cache_root = str(self._disk.root)
+        else:
+            scratch = tempfile.TemporaryDirectory(prefix="repro-cache-")
+            cache_root = scratch.name
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                workload_names = []
+                for key in pending:
+                    if key.workload not in workload_names:
+                        workload_names.append(key.workload)
+                list(
+                    pool.map(
+                        _worker_trace,
+                        workload_names,
+                        [cache_root] * len(workload_names),
+                    )
+                )
+                runs = pool.map(
+                    _worker_run, pending, [cache_root] * len(pending)
+                )
+                for key, run in zip(pending, runs):
+                    self._runs[key] = run
+                    results[key] = run
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
+        return results
 
     def energy(
         self,
@@ -91,7 +295,7 @@ class ExperimentRunner:
         design: Design,
         threshold: Optional[AngleThreshold] = None,
     ) -> EnergyBreakdown:
-        """Frame energy (memoised) for one design point."""
+        """Frame energy (memoised + disk-cached) for one design point."""
         threshold = threshold or DEFAULT_THRESHOLD
         key = RunKey(
             workload=workload.name,
@@ -99,10 +303,37 @@ class ExperimentRunner:
             angle_threshold=threshold.effective_radians,
             aniso_enabled=True,
         )
-        if key not in self._energy:
-            run = self.run(workload, design, threshold)
-            self._energy[key] = self.energy_model.frame_energy(design, run.frame)
-        return self._energy[key]
+        if key in self._energy:
+            self.memo_hits += 1
+            return self._energy[key]
+        self.memo_misses += 1
+        disk_key = None
+        if self._disk is not None:
+            disk_key = self._disk.key("energy", **_run_payload(key))
+            hit, breakdown = self._disk.load(disk_key)
+            if hit:
+                self._energy[key] = breakdown
+                return breakdown
+        run = self.run(workload, design, threshold)
+        breakdown = self.energy_model.frame_energy(design, run.frame)
+        self._energy[key] = breakdown
+        if self._disk is not None and disk_key is not None:
+            self._disk.store(disk_key, breakdown)
+        return breakdown
+
+    def cache_stats(self) -> RunnerCacheStats:
+        """Memoisation and disk-cache effectiveness counters."""
+        disk = self._disk
+        return RunnerCacheStats(
+            memo_hits=self.memo_hits,
+            memo_misses=self.memo_misses,
+            disk_hits=disk.stats.hits if disk else 0,
+            disk_misses=disk.stats.misses if disk else 0,
+            disk_stores=disk.stats.stores if disk else 0,
+            disk_errors=disk.stats.errors if disk else 0,
+            disk_entries=disk.entries() if disk else 0,
+            disk_bytes=disk.total_bytes() if disk else 0,
+        )
 
     def baseline(self, workload: GameWorkload) -> DesignRun:
         return self.run(workload, Design.BASELINE)

@@ -1,0 +1,27 @@
+"""Benchmark harness for the simulator's own performance.
+
+Everything in :mod:`repro.perf` measures *host* wall-clock time -- how
+fast the reproduction runs, never how fast the modelled hardware is.  It
+is the one subpackage exempt from the REP102 wall-clock lint rule.
+
+``python -m repro bench`` drives :func:`repro.perf.bench.run_bench`,
+which times trace generation, the batched-vs-scalar sampler paths, and a
+figure-suite slice through the cached experiment runner, then writes
+``BENCH_sampling.json`` and ``BENCH_runner.json``.
+"""
+
+from repro.perf.bench import (
+    BENCH_RUNNER_FILENAME,
+    BENCH_SAMPLING_FILENAME,
+    bench_runner,
+    bench_sampling,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_RUNNER_FILENAME",
+    "BENCH_SAMPLING_FILENAME",
+    "bench_runner",
+    "bench_sampling",
+    "run_bench",
+]

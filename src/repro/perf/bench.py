@@ -1,0 +1,269 @@
+"""Timing benchmarks: batched sampler, rasterizer, and cached runner.
+
+Three benchmarks, written as machine-readable JSON at the repo root:
+
+``BENCH_sampling.json``
+    Per workload: trace generation (vectorized vs scalar rasterizer) and
+    the exact/isotropic sampler paths (batched kernels vs the scalar
+    reference), with a bit-identity check on every color produced.
+``BENCH_runner.json``
+    A figure-suite slice (Fig. 10) through :class:`ExperimentRunner`
+    cold (empty disk cache) and warm (second process over the same
+    cache), with the measured cache hit rate.
+
+All numbers are host wall-clock seconds -- the speed of the
+reproduction itself, not of the modelled hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+BENCH_SAMPLING_FILENAME = "BENCH_sampling.json"
+BENCH_RUNNER_FILENAME = "BENCH_runner.json"
+
+
+def _geomean(values: Sequence[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def _speedup(scalar_seconds: float, batch_seconds: float) -> float:
+    if batch_seconds <= 0:
+        return float("inf")
+    return scalar_seconds / batch_seconds
+
+
+def bench_sampling(
+    workload_names: Optional[Sequence[str]] = None,
+    include_raster: bool = True,
+) -> Dict[str, Any]:
+    """Time the scalar vs batched sampler on real frame traces.
+
+    For every workload the full request trace is filtered twice per
+    path -- once through the scalar reference functions, once through
+    the :mod:`repro.texture.batch` kernels -- and the resulting colors
+    are compared bit for bit.
+    """
+    from repro.experiments.cache import source_version
+    from repro.experiments.runner import FAST_WORKLOADS
+    from repro.texture.batch import BatchSampler, RequestBatch
+    from repro.texture.sampling import anisotropic_sample, trilinear_sample
+    from repro.workloads import workload_by_name
+
+    names = list(workload_names or FAST_WORKLOADS)
+    workload_results: List[Dict[str, Any]] = []
+    for name in names:
+        workload = workload_by_name(name)
+        entry: Dict[str, Any] = {"name": name}
+
+        if include_raster:
+            built = workload.build()
+            renderer = workload.make_renderer()
+            renderer.rasterizer.vectorized = False
+            started = time.perf_counter()
+            scalar_output = renderer.trace_only(built.scene, built.camera)
+            scalar_raster_seconds = time.perf_counter() - started
+            renderer = workload.make_renderer()
+            started = time.perf_counter()
+            vector_output = renderer.trace_only(built.scene, built.camera)
+            vector_raster_seconds = time.perf_counter() - started
+            scene = built.scene
+            trace = vector_output.trace
+            entry["trace"] = {
+                "scalar_seconds": scalar_raster_seconds,
+                "batch_seconds": vector_raster_seconds,
+                "speedup_vs_scalar": _speedup(
+                    scalar_raster_seconds, vector_raster_seconds
+                ),
+                "identical_requests": scalar_output.trace.requests
+                == vector_output.trace.requests,
+            }
+        else:
+            scene, trace = workload.trace()
+
+        requests = trace.requests
+        entry["requests"] = len(requests)
+        by_texture: Dict[int, List[int]] = {}
+        for index, request in enumerate(requests):
+            by_texture.setdefault(request.texture_id, []).append(index)
+        groups = [
+            (
+                scene.mipmap_chain(texture_id),
+                indices,
+                RequestBatch.from_requests([requests[i] for i in indices]),
+            )
+            for texture_id, indices in by_texture.items()
+        ]
+
+        for path, scalar_fn in (
+            ("exact", lambda c, r: anisotropic_sample(c, r.footprint, r.u, r.v)),
+            (
+                "isotropic",
+                lambda c, r: trilinear_sample(c, r.footprint.lod, r.u, r.v),
+            ),
+        ):
+            scalar_colors = np.zeros((len(requests), 4), dtype=np.float64)
+            started = time.perf_counter()
+            for chain, indices, _batch in groups:
+                for i in indices:
+                    scalar_colors[i] = scalar_fn(chain, requests[i])
+            scalar_seconds = time.perf_counter() - started
+
+            batch_colors = np.zeros((len(requests), 4), dtype=np.float64)
+            started = time.perf_counter()
+            for chain, indices, batch in groups:
+                sampler = BatchSampler(chain)
+                if path == "exact":
+                    batch_colors[indices] = sampler.sample_exact(batch)
+                else:
+                    batch_colors[indices] = sampler.sample_isotropic(batch)
+            batch_seconds = time.perf_counter() - started
+
+            entry[path] = {
+                "scalar_seconds": scalar_seconds,
+                "batch_seconds": batch_seconds,
+                "speedup_vs_scalar": _speedup(scalar_seconds, batch_seconds),
+                "bit_identical": bool(
+                    np.array_equal(scalar_colors, batch_colors)
+                ),
+            }
+        workload_results.append(entry)
+
+    exact_speedups = [w["exact"]["speedup_vs_scalar"] for w in workload_results]
+    return {
+        "schema": "repro-bench-sampling/1",
+        "source_version": source_version(),
+        "workloads": workload_results,
+        "summary": {
+            "min_exact_speedup": min(exact_speedups),
+            "geomean_exact_speedup": _geomean(exact_speedups),
+            "bit_identical": all(
+                w["exact"]["bit_identical"] and w["isotropic"]["bit_identical"]
+                for w in workload_results
+            ),
+        },
+    }
+
+
+def bench_runner(
+    workload_names: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Time a figure-suite slice cold vs warm through the disk cache.
+
+    Cold: a fresh :class:`ExperimentRunner` over an empty cache
+    directory generates Fig. 10 (prefetching the grid in parallel when
+    ``jobs > 1``).  Warm: a second runner over the same directory
+    regenerates it purely from disk.
+    """
+    from repro.core import Design
+    from repro.core.angle import DEFAULT_THRESHOLD
+    from repro.experiments import fig10
+    from repro.experiments.cache import source_version
+    from repro.experiments.runner import FAST_WORKLOADS, ExperimentRunner, RunKey
+
+    names = list(workload_names or FAST_WORKLOADS)
+    default = DEFAULT_THRESHOLD.effective_radians
+    keys = [
+        RunKey(name, design, default, True)
+        for name in names
+        for design in Design
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        cold = ExperimentRunner(names, cache_dir=cache_dir)
+        started = time.perf_counter()
+        if jobs is not None and jobs > 1:
+            cold.run_many(keys, jobs=jobs)
+        fig10.run(cold)
+        cold_seconds = time.perf_counter() - started
+
+        warm = ExperimentRunner(names, cache_dir=cache_dir)
+        started = time.perf_counter()
+        warm.run_many(keys, jobs=1)
+        fig10.run(warm)
+        warm_seconds = time.perf_counter() - started
+        warm_stats = warm.cache_stats()
+
+        return {
+            "schema": "repro-bench-runner/1",
+            "source_version": source_version(),
+            "figure": "fig10",
+            "workloads": names,
+            "jobs": jobs or 1,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup_warm_vs_cold": _speedup(cold_seconds, warm_seconds),
+            "cache_hit_rate": warm_stats.disk_hit_rate,
+            "cache_entries": warm_stats.disk_entries,
+            "cache_bytes": warm_stats.disk_bytes,
+        }
+
+
+def run_bench(
+    fast: bool = False,
+    jobs: Optional[int] = None,
+    min_speedup: float = 1.0,
+    output_dir: str = ".",
+) -> int:
+    """Run both benchmarks, write the JSON files, gate on ``min_speedup``.
+
+    ``fast`` restricts to a single workload (the CI smoke
+    configuration); the default covers the whole ``FAST_WORKLOADS``
+    set.  Returns a non-zero exit code when the batched exact sampler's
+    slowest per-workload speedup falls below ``min_speedup`` or any
+    output fails the bit-identity check.
+    """
+    from repro.experiments.runner import FAST_WORKLOADS
+
+    names = FAST_WORKLOADS[:1] if fast else FAST_WORKLOADS
+    out = Path(output_dir)
+
+    sampling = bench_sampling(names)
+    sampling_path = out / BENCH_SAMPLING_FILENAME
+    sampling_path.write_text(json.dumps(sampling, indent=2) + "\n")
+    for workload in sampling["workloads"]:
+        print(
+            f"{workload['name']:24s} exact {workload['exact']['speedup_vs_scalar']:5.1f}x  "
+            f"isotropic {workload['isotropic']['speedup_vs_scalar']:5.1f}x  "
+            f"raster {workload.get('trace', {}).get('speedup_vs_scalar', 0.0):5.1f}x  "
+            f"({workload['requests']} requests)"
+        )
+    summary = sampling["summary"]
+    print(
+        f"sampler speedup: min {summary['min_exact_speedup']:.1f}x, "
+        f"geomean {summary['geomean_exact_speedup']:.1f}x, "
+        f"bit-identical: {summary['bit_identical']}"
+    )
+    print(f"wrote {sampling_path}")
+
+    runner = bench_runner(names, jobs=jobs)
+    runner_path = out / BENCH_RUNNER_FILENAME
+    runner_path.write_text(json.dumps(runner, indent=2) + "\n")
+    print(
+        f"runner: cold {runner['cold_seconds']:.2f}s, "
+        f"warm {runner['warm_seconds']:.2f}s "
+        f"({runner['speedup_warm_vs_cold']:.0f}x, "
+        f"hit rate {runner['cache_hit_rate']:.2f})"
+    )
+    print(f"wrote {runner_path}")
+
+    if not summary["bit_identical"]:
+        print("FAIL: batched sampler output is not bit-identical to scalar")
+        return 1
+    if summary["min_exact_speedup"] < min_speedup:
+        print(
+            f"FAIL: batched sampler speedup {summary['min_exact_speedup']:.2f}x "
+            f"below required {min_speedup:.2f}x"
+        )
+        return 1
+    return 0

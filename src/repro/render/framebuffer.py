@@ -37,6 +37,21 @@ class Framebuffer:
             return True
         return False
 
+    def depth_test_batch(
+        self, xs: np.ndarray, ys: np.ndarray, zs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised early-Z over unique pixels; returns the pass mask.
+
+        Callers guarantee ``(xs, ys)`` pairs are distinct (true for the
+        fragments of one triangle), so the gathered comparison equals a
+        sequential per-fragment test.  Counters advance exactly as the
+        scalar test would.
+        """
+        mask = zs < self.depth[ys, xs]
+        self.depth_tests += int(mask.size)
+        self.depth_passes += int(mask.sum())
+        return mask
+
     def write(self, x: int, y: int, z: float, color: np.ndarray) -> None:
         """Unconditionally commit a fragment that passed the depth test."""
         self.depth[y, x] = z

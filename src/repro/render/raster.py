@@ -100,7 +100,7 @@ class Rasterizer:
     """
 
     def __init__(self, tile_size: int = 16, max_anisotropy: int = 16,
-                 lod_bias: float = 0.0) -> None:
+                 lod_bias: float = 0.0, vectorized: bool = True) -> None:
         if tile_size <= 0:
             raise ValueError("tile size must be positive")
         if max_anisotropy < 1:
@@ -108,6 +108,9 @@ class Rasterizer:
         self.tile_size = tile_size
         self.max_anisotropy = max_anisotropy
         self.lod_bias = lod_bias
+        self.vectorized = vectorized
+        """Emit fragments through the batched (numpy) path; the scalar
+        per-pixel loop remains available as the bit-exact oracle."""
         self.stats = RasterStats()
 
     def rasterize_scene(
@@ -277,8 +280,40 @@ class Rasterizer:
             grad_b[0][1] * inv_w[0] + grad_b[1][1] * inv_w[1] + grad_b[2][1] * inv_w[2]
         )
 
-        fragments: List[RasterFragment] = []
         rows, cols = np.nonzero(inside)
+        emit = (
+            self._emit_fragments_vectorized
+            if self.vectorized
+            else self._emit_fragments_scalar
+        )
+        return emit(
+            rows, cols, bary0, bary1, bary2, denom, attrs_over_w,
+            grad_b, grad_denom_x, grad_denom_y,
+            min_x, min_y, normal, texture_id, camera, framebuffer,
+        )
+
+    def _emit_fragments_scalar(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        bary0: np.ndarray,
+        bary1: np.ndarray,
+        bary2: np.ndarray,
+        denom: np.ndarray,
+        attrs_over_w: np.ndarray,
+        grad_b: List[Tuple[float, float]],
+        grad_denom_x: float,
+        grad_denom_y: float,
+        min_x: int,
+        min_y: int,
+        normal: np.ndarray,
+        texture_id: int,
+        camera: Camera,
+        framebuffer: Framebuffer,
+    ) -> List[RasterFragment]:
+        """Reference per-pixel emission loop (the oracle the vectorized
+        path is tested against; select with ``Rasterizer(vectorized=False)``)."""
+        fragments: List[RasterFragment] = []
         camera_position = camera.position
         for row, col in zip(rows, cols):
             b = (bary0[row, col], bary1[row, col], bary2[row, col])
@@ -338,6 +373,119 @@ class Rasterizer:
                 )
             )
         return fragments
+
+    def _emit_fragments_vectorized(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        bary0: np.ndarray,
+        bary1: np.ndarray,
+        bary2: np.ndarray,
+        denom: np.ndarray,
+        attrs_over_w: np.ndarray,
+        grad_b: List[Tuple[float, float]],
+        grad_denom_x: float,
+        grad_denom_y: float,
+        min_x: int,
+        min_y: int,
+        normal: np.ndarray,
+        texture_id: int,
+        camera: Camera,
+        framebuffer: Framebuffer,
+    ) -> List[RasterFragment]:
+        """Batched fragment emission: interpolation, early-Z and the
+        analytic derivatives as whole-array operations.
+
+        Bit-identical to :meth:`_emit_fragments_scalar`: every
+        arithmetic step is the same IEEE-754 expression applied
+        elementwise, pixels within one triangle are unique (so the
+        vectorised early-Z equals the sequential test), and the one
+        libm call whose numpy counterpart differs in the last ulp on
+        some platforms (``acos``) stays a per-fragment ``math.acos``.
+        """
+        if rows.size == 0:
+            return []
+        b0 = bary0[rows, cols]
+        b1 = bary1[rows, cols]
+        b2 = bary2[rows, cols]
+        d = denom[rows, cols]
+        positive = d > 0
+        self.stats.fragments_generated += int(positive.sum())
+        rows, cols, b0, b1, b2, d = (
+            rows[positive], cols[positive],
+            b0[positive], b1[positive], b2[positive], d[positive],
+        )
+        if rows.size == 0:
+            return []
+        w_value = 1.0 / d
+        pixel_x = min_x + cols
+        pixel_y = min_y + rows
+        depth = w_value  # camera-space depth; smaller is closer
+        visible = framebuffer.depth_test_batch(pixel_x, pixel_y, depth)
+        self.stats.fragments_early_z_killed += int(visible.size - visible.sum())
+        if not visible.any():
+            return []
+        pixel_x, pixel_y, depth, w_value = (
+            pixel_x[visible], pixel_y[visible], depth[visible], w_value[visible],
+        )
+        b0, b1, b2 = b0[visible], b1[visible], b2[visible]
+        framebuffer.depth[pixel_y, pixel_x] = depth
+
+        numerators = (
+            b0[:, None] * attrs_over_w[0]
+            + b1[:, None] * attrs_over_w[1]
+            + b2[:, None] * attrs_over_w[2]
+        )
+        attrs = numerators * w_value[:, None]
+        u = attrs[:, 0]
+        v = attrs[:, 1]
+        world = attrs[:, 2:5]
+
+        # Analytic derivatives via the quotient rule (triangle constants).
+        grad_num_x = (
+            grad_b[0][0] * attrs_over_w[0]
+            + grad_b[1][0] * attrs_over_w[1]
+            + grad_b[2][0] * attrs_over_w[2]
+        )
+        grad_num_y = (
+            grad_b[0][1] * attrs_over_w[0]
+            + grad_b[1][1] * attrs_over_w[1]
+            + grad_b[2][1] * attrs_over_w[2]
+        )
+        dudx = (grad_num_x[0] - u * grad_denom_x) * w_value
+        dvdx = (grad_num_x[1] - v * grad_denom_x) * w_value
+        dudy = (grad_num_y[0] - u * grad_denom_y) * w_value
+        dvdy = (grad_num_y[1] - v * grad_denom_y) * w_value
+
+        # Camera angle: same expression tree as camera_angle_from_normal,
+        # with the final acos left scalar (numpy's arccos is not
+        # bit-identical to libm's acos on all platforms).
+        nx, ny, nz = normal[0], normal[1], normal[2]
+        view = camera.position - world
+        vx, vy, vz = view[:, 0], view[:, 1], view[:, 2]
+        norm_n = math.sqrt(nx * nx + ny * ny + nz * nz)
+        norm_v = np.sqrt(vx * vx + vy * vy + vz * vz)
+        if norm_n == 0.0 or bool(np.any(norm_v == 0.0)):
+            raise ValueError("zero-length vector")
+        cosine = (nx * vx + ny * vy + nz * vz) / (norm_n * norm_v)
+        cosine = np.minimum(1.0, np.maximum(-1.0, cosine))
+
+        return [
+            RasterFragment(
+                x=int(pixel_x[index]),
+                y=int(pixel_y[index]),
+                depth=float(depth[index]),
+                u=float(u[index]),
+                v=float(v[index]),
+                dudx=float(dudx[index]),
+                dvdx=float(dvdx[index]),
+                dudy=float(dudy[index]),
+                dvdy=float(dvdy[index]),
+                camera_angle=math.acos(abs(float(cosine[index]))),
+                texture_id=texture_id,
+            )
+            for index in range(len(pixel_x))
+        ]
 
 
 def _edge(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> float:

@@ -123,9 +123,14 @@ class Renderer:
         tile_size: int = 16,
         max_anisotropy: int = 16,
         lod_bias: float = 0.0,
+        batch_sampling: bool = True,
     ) -> None:
         self.width = width
         self.height = height
+        self.batch_sampling = batch_sampling
+        """Shade EXACT/ISOTROPIC frames through the vectorised kernels of
+        :mod:`repro.texture.batch` (bit-identical to the scalar path;
+        disable to force the scalar oracle)."""
         self.rasterizer = Rasterizer(
             tile_size=tile_size, max_anisotropy=max_anisotropy, lod_bias=lod_bias
         )
@@ -171,12 +176,19 @@ class Renderer:
         if mode is SamplingMode.ATFIM:
             parent_store = _AngleTaggedParentStore(threshold=angle_threshold)
 
-        requests: List[TextureRequest] = []
-        for fragment, request in shaded:
-            requests.append(request)
-            chain = scene.mipmap_chain(request.texture_id)
-            color = self._shade(chain, request, mode, parent_store)
-            framebuffer.write(fragment.x, fragment.y, fragment.depth, color)
+        requests: List[TextureRequest] = [request for _, request in shaded]
+        batchable = mode in (SamplingMode.EXACT, SamplingMode.ISOTROPIC)
+        if batchable and self.batch_sampling and shaded:
+            colors = self._shade_batch(scene, requests, mode)
+            for index, (fragment, _request) in enumerate(shaded):
+                framebuffer.write(
+                    fragment.x, fragment.y, fragment.depth, colors[index]
+                )
+        else:
+            for fragment, request in shaded:
+                chain = scene.mipmap_chain(request.texture_id)
+                color = self._shade(chain, request, mode, parent_store)
+                framebuffer.write(fragment.x, fragment.y, fragment.depth, color)
 
         trace = FragmentTrace(
             width=self.width,
@@ -194,6 +206,41 @@ class Renderer:
             output.parent_recalculations = parent_store.recalculations
             output.parent_reuses = parent_store.reuses
         return output
+
+    def _shade_batch(
+        self,
+        scene: Scene,
+        requests: List[TextureRequest],
+        mode: SamplingMode,
+    ) -> np.ndarray:
+        """Shade every request through the batched kernels, per texture.
+
+        Fragments are grouped by texture (each group shares one mip
+        chain), filtered as arrays, and scattered back into submission
+        order.  With ``REPRO_CHECK_INVARIANTS=1`` each group is also
+        validated against the scalar oracle at drain time
+        (``batch-fetch-parity``: bit-identical colors, equal texel
+        fetch sets).
+        """
+        from repro.analysis.invariants import checks_enabled
+        from repro.texture.batch import BatchSampler, RequestBatch
+
+        isotropic = mode is SamplingMode.ISOTROPIC
+        colors = np.zeros((len(requests), 4), dtype=np.float64)
+        by_texture: Dict[int, List[int]] = {}
+        for index, request in enumerate(requests):
+            by_texture.setdefault(request.texture_id, []).append(index)
+        for texture_id, indices in by_texture.items():
+            chain = scene.mipmap_chain(texture_id)
+            sampler = BatchSampler(chain)
+            batch = RequestBatch.from_requests([requests[i] for i in indices])
+            if isotropic:
+                colors[indices] = sampler.sample_isotropic(batch)
+            else:
+                colors[indices] = sampler.sample_exact(batch)
+            if checks_enabled():
+                sampler.verify_against_scalar(batch, isotropic=isotropic)
+        return colors
 
     def _shade(
         self,

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -108,7 +109,10 @@ def bilinear_taps(width: int, height: int, u: float, v: float) -> List[BilinearT
     ]
 
 
-def probe_offsets(footprint: SampleFootprint, level: int) -> List[Tuple[int, int]]:
+@lru_cache(maxsize=4096)
+def probe_offsets(
+    footprint: SampleFootprint, level: int
+) -> Tuple[Tuple[int, int], ...]:
     """Integer texel offsets of the anisotropic probes at ``level``.
 
     Probes are spread symmetrically along the major footprint axis; the
@@ -117,10 +121,16 @@ def probe_offsets(footprint: SampleFootprint, level: int) -> List[Tuple[int, int
     after rounding (grazing but short footprints); duplicates are kept so
     the probe average stays an unweighted mean of exactly N children,
     matching the fixed-function hardware datapath.
+
+    Memoised (LRU): ``trilinear_sample`` asks for the same
+    ``(footprint, level)`` offset list once per probe per mip level, so
+    a 16x filter recomputed the identical list up to 32 times per
+    lookup before caching.  ``SampleFootprint`` is frozen/hashable and
+    the returned tuple is immutable, so sharing one instance is safe.
     """
     count = footprint.probes
     if count == 1:
-        return [(0, 0)]
+        return ((0, 0),)
     length_at_level = footprint.major_length / (2.0 ** level)
     spacing = length_at_level / count
     offsets: List[Tuple[int, int]] = []
@@ -129,7 +139,7 @@ def probe_offsets(footprint: SampleFootprint, level: int) -> List[Tuple[int, int
         dx = round(distance * footprint.major_du)
         dy = round(distance * footprint.major_dv)
         offsets.append((dx, dy))
-    return offsets
+    return tuple(offsets)
 
 
 def _level_uv(u: float, v: float, level: int) -> Tuple[float, float]:
@@ -142,16 +152,23 @@ class _FetchRecorder:
     """Merges duplicate texel fetches, preserving first-touch order."""
 
     def __init__(self) -> None:
-        self._seen: Dict[TexelCoord, None] = {}
+        self._seen: set = set()
+        self._order: List[TexelCoord] = []
 
     def add(self, level: int, x: int, y: int, width: int, height: int) -> None:
         coord = (level, x % width, y % height)
         if coord not in self._seen:
-            self._seen[coord] = None
+            self._seen.add(coord)
+            self._order.append(coord)
 
     @property
     def texels(self) -> List[TexelCoord]:
-        return list(self._seen)
+        """The deduplicated fetches in first-touch order.
+
+        Returns the recorder's own list (no per-access copy); callers
+        treat it as read-only.
+        """
+        return self._order
 
 
 def bilinear_sample(

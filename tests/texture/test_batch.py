@@ -1,0 +1,259 @@
+"""Bit-identity tests: batched kernels vs the scalar oracle.
+
+Every comparison here is ``np.array_equal`` -- exact, every bit -- not
+``allclose``: the batch kernels promise the same IEEE-754 operations in
+the same order as the scalar reference, and these tests are that
+promise's enforcement, over edge UVs, wrap-around coordinates, clamped
+LODs, single-level mip chains, and whole rendered frames.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.invariants import InvariantError, check_batch_scalar_parity
+from repro.render.renderer import Renderer, SamplingMode
+from repro.texture.batch import (
+    BatchFetchRecorder,
+    BatchSampler,
+    RequestBatch,
+    anisotropic_batch,
+    bilinear_batch,
+    isotropic_batch,
+    level_blend_arrays,
+    probe_offset_arrays,
+)
+from repro.texture.lod import compute_footprint
+from repro.texture.mipmap import build_mipmaps
+from repro.texture.sampling import (
+    _FetchRecorder,
+    anisotropic_sample,
+    bilinear_sample,
+    level_blend_for,
+    probe_offsets,
+    trilinear_sample,
+)
+from repro.texture.texture import Texture
+from tests.conftest import make_tiny_scene
+
+
+def make_chain(size=16, seed=5, texture_id=0):
+    rng = np.random.default_rng(seed)
+    data = rng.random((size, size, 4))
+    return build_mipmaps(Texture(texture_id=texture_id, data=data))
+
+
+def footprint(probes=4, lod=0.5, direction=(1.0, 0.0)):
+    minor = 2.0 ** lod
+    major = minor * probes
+    du, dv = direction
+    return compute_footprint(major * du, major * dv, -minor * dv, minor * du)
+
+
+# Awkward sample positions for a 16x16 level-0 texture: corners, texel
+# centres, exact wrap seams, beyond-width (wraps), and negative (wraps).
+EDGE_UVS = [
+    (0.0, 0.0),
+    (0.5, 0.5),
+    (15.5, 15.5),
+    (16.0, 16.0),
+    (17.3, 31.9),
+    (-2.7, 5.1),
+    (7.999999, 1e-06),
+    (8.0, 8.0),
+]
+
+LODS = [0.0, 0.25, 1.0, 1.5, 2.0, 3.75, -1.0, 99.0]
+
+
+class TestLevelBlendArrays:
+    def test_matches_scalar_blend(self):
+        chain = make_chain()
+        low, high, weight = level_blend_arrays(chain, np.array(LODS))
+        for i, lod in enumerate(LODS):
+            blend = level_blend_for(chain, lod)
+            assert low[i] == blend.level_low
+            assert high[i] == blend.level_high
+            assert weight[i] == blend.weight
+
+
+class TestProbeOffsetArrays:
+    @pytest.mark.parametrize("probes", [1, 2, 4, 8])
+    def test_matches_scalar_offsets(self, probes):
+        fp = footprint(probes=probes, lod=1.0, direction=(0.6, 0.8))
+        for level in (0, 1, 2):
+            scalar = probe_offsets(fp, level)
+            levels = np.full(3, level, dtype=np.int64)
+            for index in range(probes):
+                dx, dy = probe_offset_arrays(
+                    levels,
+                    np.full(3, fp.major_du),
+                    np.full(3, fp.major_dv),
+                    np.full(3, fp.major_length),
+                    probes,
+                    index,
+                )
+                assert (dx == scalar[index][0]).all()
+                assert (dy == scalar[index][1]).all()
+
+
+class TestBilinearBatch:
+    @pytest.mark.parametrize("level", [0, 1, 2, 4, 9])
+    def test_bit_identical_over_edge_uvs(self, level):
+        chain = make_chain()
+        us = np.array([u for u, _ in EDGE_UVS])
+        vs = np.array([v for _, v in EDGE_UVS])
+        batch_colors = bilinear_batch(
+            chain, np.full(len(us), level, dtype=np.int64), us, vs
+        )
+        scalar_colors = np.array(
+            [bilinear_sample(chain, level, u, v) for u, v in EDGE_UVS]
+        )
+        assert np.array_equal(batch_colors, scalar_colors)
+
+    def test_mixed_levels_one_call(self):
+        chain = make_chain()
+        levels = np.array([0, 1, 2, 3, 4, 0, 2, 1], dtype=np.int64)
+        us = np.array([u for u, _ in EDGE_UVS])
+        vs = np.array([v for _, v in EDGE_UVS])
+        batch_colors = bilinear_batch(chain, levels, us, vs)
+        scalar_colors = np.array(
+            [
+                bilinear_sample(chain, int(level), u, v)
+                for level, (u, v) in zip(levels, EDGE_UVS)
+            ]
+        )
+        assert np.array_equal(batch_colors, scalar_colors)
+
+
+def _batch_of(footprints, uvs):
+    return RequestBatch.from_footprints(
+        footprints, [u for u, _ in uvs], [v for _, v in uvs]
+    )
+
+
+class TestTrilinearBatch:
+    def test_bit_identical_over_lods_and_edge_uvs(self):
+        chain = make_chain()
+        cases = [(lod, uv) for lod in LODS for uv in EDGE_UVS]
+        fps = [footprint(probes=1, lod=max(lod, 0.0)) for lod, _ in cases]
+        # Force the exact LOD values (including negative/overflow).
+        batch = _batch_of(fps, [uv for _, uv in cases])
+        batch.lod[:] = [lod for lod, _ in cases]
+        batch_colors = isotropic_batch(chain, batch)
+        scalar_colors = np.array(
+            [trilinear_sample(chain, lod, u, v) for lod, (u, v) in cases]
+        )
+        assert np.array_equal(batch_colors, scalar_colors)
+
+    def test_single_level_chain(self):
+        # A 1x1 texture has exactly one mip level: every LOD collapses
+        # to a single-level blend and the high level must not exist.
+        data = np.full((1, 1, 4), 0.625)
+        chain = build_mipmaps(Texture(texture_id=0, data=data))
+        assert chain.max_level == 0
+        batch = _batch_of(
+            [footprint(probes=1, lod=0.0)] * 3, [(0.0, 0.0), (0.5, 0.5), (3.2, -1.1)]
+        )
+        batch.lod[:] = [0.0, 0.75, 5.0]
+        batch_colors = isotropic_batch(chain, batch)
+        scalar_colors = np.array(
+            [
+                trilinear_sample(chain, lod, u, v)
+                for lod, (u, v) in zip(
+                    [0.0, 0.75, 5.0], [(0.0, 0.0), (0.5, 0.5), (3.2, -1.1)]
+                )
+            ]
+        )
+        assert np.array_equal(batch_colors, scalar_colors)
+
+
+class TestAnisotropicBatch:
+    def test_bit_identical_mixed_probe_counts(self):
+        chain = make_chain(64)
+        directions = [(1.0, 0.0), (0.0, 1.0), (0.6, 0.8), (-0.8, 0.6)]
+        fps, uvs = [], []
+        for probes in (1, 2, 4, 8):
+            for lod in (0.0, 0.5, 1.5, 2.0):
+                for direction in directions:
+                    fps.append(
+                        footprint(probes=probes, lod=lod, direction=direction)
+                    )
+                    uvs.append(EDGE_UVS[len(fps) % len(EDGE_UVS)])
+        batch = _batch_of(fps, uvs)
+        batch_colors = anisotropic_batch(chain, batch)
+        scalar_colors = np.array(
+            [anisotropic_sample(chain, fp, u, v) for fp, (u, v) in zip(fps, uvs)]
+        )
+        assert np.array_equal(batch_colors, scalar_colors)
+
+    def test_recorder_fetch_sets_match_scalar(self):
+        chain = make_chain(64)
+        fps = [
+            footprint(probes=probes, lod=lod)
+            for probes in (1, 2, 4)
+            for lod in (0.25, 1.5)
+        ]
+        uvs = EDGE_UVS[: len(fps)]
+        batch = _batch_of(fps, uvs)
+        recorder = BatchFetchRecorder()
+        anisotropic_batch(chain, batch, recorder=recorder)
+        texels = recorder.request_texels()
+        counts = recorder.request_counts()
+        for index, (fp, (u, v)) in enumerate(zip(fps, uvs)):
+            scalar_recorder = _FetchRecorder()
+            anisotropic_sample(chain, fp, u, v, recorder=scalar_recorder)
+            assert set(texels[index]) == set(scalar_recorder.texels)
+            assert counts[index] == len(scalar_recorder.texels)
+
+
+class TestBatchSampler:
+    def test_verify_against_scalar_passes(self):
+        chain = make_chain(64)
+        fps = [footprint(probes=p, lod=l) for p in (1, 4) for l in (0.0, 1.25)]
+        batch = _batch_of(fps, EDGE_UVS[: len(fps)])
+        sampler = BatchSampler(chain)
+        sampler.verify_against_scalar(batch)
+        sampler.verify_against_scalar(batch, isotropic=True)
+
+    def test_parity_check_rejects_divergence(self):
+        color = np.array([0.1, 0.2, 0.3, 1.0])
+        wrong = np.array([0.1, 0.2, 0.30000000000000004, 1.0])
+        texels = frozenset({(0, 1, 1)})
+        with pytest.raises(InvariantError):
+            check_batch_scalar_parity([(0, color, wrong, texels, texels)])
+        with pytest.raises(InvariantError):
+            check_batch_scalar_parity(
+                [(0, color, color, texels, frozenset({(0, 2, 2)}))]
+            )
+        check_batch_scalar_parity([(0, color, color, texels, texels)])
+
+
+class TestVectorizedRaster:
+    def test_fragments_identical_to_scalar_path(self):
+        scene, camera = make_tiny_scene()
+        scalar = Renderer(width=48, height=36, tile_size=4, max_anisotropy=8)
+        scalar.rasterizer.vectorized = False
+        vector = Renderer(width=48, height=36, tile_size=4, max_anisotropy=8)
+        scalar_out = scalar.trace_only(scene, camera)
+        vector_out = vector.trace_only(scene, camera)
+        assert scalar_out.trace.requests == vector_out.trace.requests
+        assert np.array_equal(
+            scalar_out.framebuffer.depth, vector_out.framebuffer.depth
+        )
+        assert scalar_out.raster_stats == vector_out.raster_stats
+
+
+class TestBatchedRenderer:
+    @pytest.mark.parametrize(
+        "mode", [SamplingMode.EXACT, SamplingMode.ISOTROPIC]
+    )
+    def test_frame_identical_to_scalar_shading(self, mode):
+        scene, camera = make_tiny_scene()
+        batched = Renderer(width=48, height=36, tile_size=4, max_anisotropy=8)
+        scalar = Renderer(
+            width=48, height=36, tile_size=4, max_anisotropy=8,
+            batch_sampling=False,
+        )
+        batched_image = batched.render(scene, camera, mode).image
+        scalar_image = scalar.render(scene, camera, mode).image
+        assert np.array_equal(batched_image, scalar_image)

@@ -123,7 +123,7 @@ class TestTrilinearSample:
 class TestProbeOffsets:
     def test_isotropic_single_zero_offset(self):
         fp = footprint(probes=1, lod=0.0)
-        assert probe_offsets(fp, 0) == [(0, 0)]
+        assert probe_offsets(fp, 0) == ((0, 0),)
 
     def test_probe_count_matches_footprint(self):
         fp = footprint(probes=4)
