@@ -11,6 +11,8 @@ Rule IDs are stable and gate-able:
 * ``REP106`` — float equality comparison on cycle/energy quantities.
 * ``REP107`` — public function in ``core``/``memory``/``texture`` missing
   type annotations.
+* ``REP108`` — ``time.monotonic()`` call site outside ``repro.perf`` /
+  ``repro.obs``; host-side timing goes through the tracing spans.
 
 The REP200-series unit-aware dataflow rules (``bytes + cycles``,
 degree/radian confusion, untagged public quantities, ...) live in
@@ -114,10 +116,11 @@ class WallClockRule(LintRule):
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: LintContext) -> bool:
-        # repro.perf is the benchmark harness: its entire purpose is
-        # measuring host wall-clock time, never simulated time, so the
-        # rule would flag every line it exists to write.
-        if "src/repro/perf/" in ctx.path:
+        # repro.perf is the benchmark harness and repro.obs the tracing
+        # layer: both exist to measure host wall-clock time (never
+        # simulated time), so the rule would flag every line they exist
+        # to write.
+        if "src/repro/perf/" in ctx.path or "src/repro/obs/" in ctx.path:
             return False
         return ctx.is_sim_source
 
@@ -391,6 +394,51 @@ class PublicAnnotationRule(LintRule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# REP108 — host-side timing goes through repro.obs, not raw monotonic reads.
+# ---------------------------------------------------------------------------
+
+_MONOTONIC_FUNCS = frozenset({"monotonic", "monotonic_ns"})
+
+
+class MonotonicOutsideObsRule(LintRule):
+    """Raw ``time.monotonic()`` reads scattered through the codebase are
+    untraceable one-off timers; host phases are timed with
+    ``repro.obs.span()``/``timed_stage`` so they land in run manifests
+    and Chrome traces.  ``repro.perf`` (the benchmark harness) and
+    ``repro.obs`` itself are the only legitimate call sites."""
+
+    rule_id = "REP108"
+    name = "monotonic-outside-obs"
+    description = (
+        "time.monotonic() outside repro.perf/repro.obs; "
+        "time host phases with repro.obs spans"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not (
+            "src/repro/perf/" in ctx.path or "src/repro/obs/" in ctx.path
+        )
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        func = node.func  # type: ignore[attr-defined]
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id == "time"
+            and func.attr in _MONOTONIC_FUNCS
+        ):
+            ctx.report(
+                self,
+                node,
+                f"raw time.{func.attr}() call; record host timing with "
+                "repro.obs.span()/timed_stage so it reaches the manifest",
+            )
+
+
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     StatMutationRule(),
     WallClockRule(),
@@ -399,6 +447,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     SwallowedExceptionRule(),
     FloatEqualityRule(),
     PublicAnnotationRule(),
+    MonotonicOutsideObsRule(),
     UnitDataflowRule(),
 )
 

@@ -9,10 +9,15 @@ Subcommands:
 * ``report`` -- run every experiment and write EXPERIMENTS.md.
 * ``bench`` -- time the batched sampler and cached runner, writing
   ``BENCH_sampling.json`` / ``BENCH_runner.json``.
+* ``trace <manifest.json>`` -- convert a run manifest's span tree to
+  Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto).
 
 ``report``, ``fig`` and ``bench`` accept ``--jobs N`` to fan design-point
 simulations out over processes; ``report`` persists results under
 ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) so reruns are incremental.
+The same three accept ``--manifest [PATH]`` to record a
+:class:`~repro.obs.manifest.RunManifest` (tracing is switched on for the
+run); ``REPRO_TRACE=1`` enables span recording everywhere else.
 """
 
 from __future__ import annotations
@@ -20,8 +25,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.core import Design
 from repro.core.angle import DEFAULT_THRESHOLD
 from repro.experiments.runner import FAST_WORKLOADS, ExperimentRunner
@@ -83,20 +90,43 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 
     module = importlib.import_module(f"repro.experiments.{FIGURES[args.id]}")
     names = FAST_WORKLOADS if args.fast else None
-    if args.id == "overhead":
-        data = module.run()
-    elif args.jobs and args.jobs > 1:
-        from repro.experiments.report import grid_keys
+    manifest_requested = args.manifest is not None
+    was_tracing = obs.tracing_enabled()
+    if manifest_requested and not was_tracing:
+        obs.set_tracing(True)
+    runner = None
+    try:
+        with obs.span("cli.fig", figure=args.id):
+            if args.id == "overhead":
+                data = module.run()
+            elif (args.jobs and args.jobs > 1) or manifest_requested:
+                from repro.experiments.report import grid_keys
 
-        runner = ExperimentRunner(names, jobs=args.jobs)
-        runner.run_many(grid_keys(runner), jobs=args.jobs)
-        data = module.run(runner)
-    else:
-        data = module.run(workload_names=names)
-    print(data.title)
-    print(data.format_table())
-    for note in data.notes:
-        print(note)
+                runner = ExperimentRunner(names, jobs=args.jobs)
+                if args.jobs and args.jobs > 1:
+                    runner.run_many(grid_keys(runner), jobs=args.jobs)
+                data = module.run(runner)
+            else:
+                data = module.run(workload_names=names)
+        print(data.title)
+        print(data.format_table())
+        for note in data.notes:
+            print(note)
+        if manifest_requested:
+            from repro.obs.manifest import build_manifest
+
+            record = build_manifest(
+                command="fig",
+                config={"figure": args.id, "fast": args.fast,
+                        "jobs": args.jobs},
+                runner=runner,
+            )
+            path = args.manifest or f"FIG{args.id}.manifest.json"
+            record.write(path)
+            print(f"wrote {path}")
+    finally:
+        if manifest_requested and not was_tracing:
+            obs.set_tracing(False)
     return 0
 
 
@@ -123,7 +153,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.report import write_report
+    from repro.experiments.report import manifest_path_for, write_report
 
     names = FAST_WORKLOADS if args.fast else None
     path = write_report(
@@ -132,20 +162,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
         include_quality=not args.no_quality,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        manifest=args.manifest,
     )
     print(f"wrote {path}")
+    if args.manifest is not None:
+        print(f"wrote {args.manifest or manifest_path_for(path)}")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import run_bench
 
-    return run_bench(
-        fast=args.fast,
-        jobs=args.jobs,
-        min_speedup=args.min_speedup,
-        output_dir=args.output_dir,
-    )
+    manifest_requested = args.manifest is not None
+    was_tracing = obs.tracing_enabled()
+    if manifest_requested and not was_tracing:
+        obs.set_tracing(True)
+    try:
+        with obs.span("cli.bench", fast=args.fast):
+            code = run_bench(
+                fast=args.fast,
+                jobs=args.jobs,
+                min_speedup=args.min_speedup,
+                output_dir=args.output_dir,
+            )
+        if manifest_requested:
+            from repro.obs.manifest import build_manifest
+
+            record = build_manifest(
+                command="bench",
+                config={"fast": args.fast, "jobs": args.jobs,
+                        "min_speedup": args.min_speedup,
+                        "output_dir": args.output_dir},
+            )
+            path = args.manifest or str(
+                Path(args.output_dir) / "BENCH.manifest.json"
+            )
+            record.write(path)
+            print(f"wrote {path}")
+    finally:
+        if manifest_requested and not was_tracing:
+            obs.set_tracing(False)
+    return code
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import write_chrome_trace
+
+    output = args.output
+    if output is None:
+        output = str(Path(args.manifest).with_suffix(".trace.json"))
+    path = write_chrome_trace(args.manifest, output)
+    print(f"wrote {path}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--fast", action="store_true", help="3-workload subset")
     fig.add_argument("--jobs", type=int, default=None,
                      help="prefetch the design grid over N processes")
+    fig.add_argument("--manifest", nargs="?", const="", default=None,
+                     help="record a run manifest (optional path; default "
+                     "FIG<id>.manifest.json); enables tracing for the run")
     fig.set_defaults(func=_cmd_fig)
 
     render = sub.add_parser("render", help="render a frame to a PPM image")
@@ -197,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--cache-dir", default=None,
                         help="persist traces/runs here (default: "
                         "$REPRO_CACHE_DIR if set, else no disk cache)")
+    report.add_argument("--manifest", nargs="?", const="", default=None,
+                        help="record a run manifest next to the report "
+                        "(optional path; default <output>.manifest.json); "
+                        "enables tracing and the per-phase timing table")
     report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser(
@@ -211,7 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
                        "workload speedup is below this factor")
     bench.add_argument("--output-dir", default=".",
                        help="directory for BENCH_*.json (default: cwd)")
+    bench.add_argument("--manifest", nargs="?", const="", default=None,
+                       help="record a run manifest (optional path; default "
+                       "<output-dir>/BENCH.manifest.json)")
     bench.set_defaults(func=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="convert a run manifest to Chrome trace-event JSON"
+    )
+    trace.add_argument("manifest", help="path to a *.manifest.json file")
+    trace.add_argument("--output", default=None,
+                       help="output path (default: <manifest>.trace.json)")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -207,6 +207,19 @@ class AtfimPath(TexturePath):
     def cache_stats(self) -> CacheHierarchyStats:
         return self.caches.stats()
 
+    def stat_group(self, name: str = "path") -> "StatGroup":
+        group = super().stat_group(name)
+        group.adopt(self.hmc.stat_group("memory"))
+        stages = group.child("atfim_stages")
+        stages.counter("parent_reuses").add(self.parent_reuses)
+        stages.counter("parent_recalculations").add(self.parent_recalculations)
+        stages.counter("parent_cold_misses").add(self.parent_cold_misses)
+        stages.counter("child_texels_generated").add(self.child_texels_generated)
+        stages.counter("child_lines_fetched").add(self.child_lines_fetched)
+        stages.counter("offload_packages").add(self.offload_packages)
+        stages.counter("recalculation_rate").add(self.recalculation_rate())
+        return group
+
     def reset_for_measurement(self) -> None:
         for unit in self.units:
             unit.reset()

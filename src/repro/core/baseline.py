@@ -83,6 +83,14 @@ class GpuFilteringPath(TexturePath):
     def cache_stats(self) -> CacheHierarchyStats:
         return self.caches.stats()
 
+    def stat_group(self, name: str = "path") -> "StatGroup":
+        group = super().stat_group(name)
+        if self.gddr5 is not None:
+            group.adopt(self.gddr5.stat_group("memory"))
+        if self.hmc is not None:
+            group.adopt(self.hmc.stat_group("memory"))
+        return group
+
     def reset_for_measurement(self) -> None:
         for unit in self.units:
             unit.reset()

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.atfim import AtfimPath
 from repro.core.baseline import GpuFilteringPath
 from repro.core.designs import Design, DesignConfig
@@ -111,31 +112,47 @@ def simulate_frame(
     conservation invariants of :mod:`repro.analysis.invariants`; ``None``
     defers to the ``REPRO_CHECK_INVARIANTS`` environment flag.
     """
-    traffic = TrafficMeter()
-    expander = RequestExpander(scene, address_map)
-    if config.aniso_enabled:
-        expanded = [expander.expand(request) for request in trace.requests]
-    else:
-        expanded = [expander.expand_isotropic(request) for request in trace.requests]
+    with obs.span(
+        "core.simulate_frame",
+        design=config.design.value,
+        requests=len(trace.requests),
+        aniso_enabled=config.aniso_enabled,
+    ):
+        traffic = TrafficMeter()
+        expander = RequestExpander(scene, address_map)
+        with obs.span("core.expand"):
+            if config.aniso_enabled:
+                expanded = [expander.expand(request) for request in trace.requests]
+            else:
+                expanded = [
+                    expander.expand_isotropic(request) for request in trace.requests
+                ]
 
-    path = make_texture_path(config, traffic)
-    pipeline = GpuPipeline(config.gpu)
-    if warmup:
-        pipeline.replay_texture_stream(trace, expanded, path)
-        path.reset_for_measurement()
-        traffic.reset()
-    frame = pipeline.simulate_frame(
-        trace=trace,
-        expanded=expanded,
-        path=path,
-        traffic=traffic,
-        num_vertices=scene.num_vertices,
-        external_bytes_per_cycle=config.external_bytes_per_cycle,
-    )
-    run = DesignRun(config=config, frame=frame, path=path)
-    if _resolve_check_invariants(check_invariants):
-        _check_run_invariants(run)
-    return run
+        path = make_texture_path(config, traffic)
+        pipeline = GpuPipeline(config.gpu)
+        if warmup:
+            with obs.span("core.warmup_replay"):
+                pipeline.replay_texture_stream(trace, expanded, path)
+            path.reset_for_measurement()
+            traffic.reset()
+        with obs.span("core.measured_replay"):
+            frame = pipeline.simulate_frame(
+                trace=trace,
+                expanded=expanded,
+                path=path,
+                traffic=traffic,
+                num_vertices=scene.num_vertices,
+                external_bytes_per_cycle=config.external_bytes_per_cycle,
+            )
+        run = DesignRun(config=config, frame=frame, path=path)
+        if _resolve_check_invariants(check_invariants):
+            with obs.span("core.check_invariants"):
+                _check_run_invariants(run)
+        # Attach the drained frame's full StatGroup snapshot (stages,
+        # traffic, caches, filter stages, memory service counters).
+        if obs.tracing_enabled():
+            obs.attach_stats(obs.run_stat_group(run))
+        return run
 
 
 @dataclass
@@ -193,29 +210,33 @@ def simulate_sequence(
     pipeline = GpuPipeline(config.gpu)
 
     frames: List[FrameResult] = []
-    for trace in traces:
-        if config.aniso_enabled:
-            expanded = [expander.expand(request) for request in trace.requests]
-        else:
-            expanded = [
-                expander.expand_isotropic(request) for request in trace.requests
-            ]
-        before = traffic.snapshot()
-        frame = pipeline.simulate_frame(
-            trace=trace,
-            expanded=expanded,
-            path=path,
-            traffic=traffic,
-            num_vertices=scene.num_vertices,
-            external_bytes_per_cycle=config.external_bytes_per_cycle,
-        )
-        # Attribute this frame's traffic and hand the frame its own meter.
-        frame.traffic = traffic.since(before)
-        frames.append(frame)
-        if checking:
-            # Drain-time check: the path's counters still describe this
-            # frame (they are reset just below for the next one).
-            _check_run_invariants(DesignRun(config=config, frame=frame, path=path))
-        # Fresh clocks and counters for the next frame; caches persist.
-        path.reset_for_measurement()
+    for frame_index, trace in enumerate(traces):
+        with obs.span("core.simulate_sequence_frame", frame=frame_index,
+                      design=config.design.value):
+            if config.aniso_enabled:
+                expanded = [expander.expand(request) for request in trace.requests]
+            else:
+                expanded = [
+                    expander.expand_isotropic(request) for request in trace.requests
+                ]
+            before = traffic.snapshot()
+            frame = pipeline.simulate_frame(
+                trace=trace,
+                expanded=expanded,
+                path=path,
+                traffic=traffic,
+                num_vertices=scene.num_vertices,
+                external_bytes_per_cycle=config.external_bytes_per_cycle,
+            )
+            # Attribute this frame's traffic; hand the frame its own meter.
+            frame.traffic = traffic.since(before)
+            frames.append(frame)
+            if checking:
+                # Drain-time check: the path's counters still describe this
+                # frame (they are reset just below for the next one).
+                _check_run_invariants(
+                    DesignRun(config=config, frame=frame, path=path)
+                )
+            # Fresh clocks and counters for the next frame; caches persist.
+            path.reset_for_measurement()
     return SequenceResult(config=config, frames=frames, path=path)

@@ -312,3 +312,34 @@ class TexturePath(abc.ABC):
     def cache_stats(self) -> CacheHierarchyStats:
         """Cache outcomes (zeroed for cache-less paths like S-TFIM)."""
         return CacheHierarchyStats()
+
+    def stat_group(self, name: str = "path") -> "StatGroup":
+        """Snapshot of this path's filter-stage and cache counters.
+
+        The base implementation covers what every design reports
+        (texture-unit activity and the cache hierarchy); subclasses
+        adopt their memory model's group (GDDR5 bus counters, HMC link
+        and vault-service counters) and design-specific stages on top.
+        Read at frame drain time by :mod:`repro.obs.snapshot` -- nothing
+        here runs during request service.
+        """
+        from repro.sim.stats import StatGroup
+
+        group = StatGroup(name)
+        activity = self.activity()
+        gpu = group.child("gpu_texture_units")
+        gpu.counter("requests").add(activity.gpu_texture.requests)
+        gpu.counter("address_ops").add(activity.gpu_texture.address_ops)
+        gpu.counter("filter_ops").add(activity.gpu_texture.filter_ops)
+        mtu = group.child("memory_texture_units")
+        mtu.counter("requests").add(activity.memory_texture.requests)
+        mtu.counter("address_ops").add(activity.memory_texture.address_ops)
+        mtu.counter("filter_ops").add(activity.memory_texture.filter_ops)
+        stats = self.cache_stats()
+        caches = group.child("caches")
+        caches.counter("l1_hits").add(stats.l1_hits)
+        caches.counter("l1_misses").add(stats.l1_misses)
+        caches.counter("l1_angle_misses").add(stats.l1_angle_misses)
+        caches.counter("l2_hits").add(stats.l2_hits)
+        caches.counter("l2_misses").add(stats.l2_misses)
+        return group

@@ -119,6 +119,16 @@ class StfimPath(TexturePath):
     def total_stall_cycles(self) -> Cycles:
         return sum(queue.total_stall_cycles for queue in self.queues)
 
+    def stat_group(self, name: str = "path") -> "StatGroup":
+        group = super().stat_group(name)
+        group.adopt(self.hmc.stat_group("memory"))
+        stages = group.child("mtu_stages")
+        stages.counter("queue_stall_cycles").add(self.total_stall_cycles)
+        stages.counter("merged_line_reads").add(
+            sum(window.merged for window in self.merge_windows)
+        )
+        return group
+
     def reset_for_measurement(self) -> None:
         for mtu in self.mtus:
             mtu.reset()

@@ -17,6 +17,7 @@ so parallel workers never observe torn writes.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -24,7 +25,9 @@ import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.obs.tracer import span as _trace_span
 
 _SOURCE_VERSION: Optional[str] = None
 
@@ -97,35 +100,48 @@ class DiskCache:
     def load(self, key: str) -> Tuple[bool, Any]:
         """Return ``(hit, value)``; corrupt entries count as misses."""
         path = self._path(key)
-        try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return False, None
-        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
-            # A torn or stale-format entry: treat as a miss (it will be
-            # recomputed and overwritten) but record that it happened.
-            self.stats.errors += 1
-            self.stats.misses += 1
-            return False, None
-        self.stats.hits += 1
-        return True, value
+        with _trace_span("cache.load", key=key[:12]) as current:
+            try:
+                with path.open("rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                if current is not None:
+                    current.attributes["outcome"] = "miss"
+                return False, None
+            except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+                # A torn or stale-format entry: treat as a miss (it will be
+                # recomputed and overwritten) but record that it happened.
+                self.stats.errors += 1
+                self.stats.misses += 1
+                if current is not None:
+                    current.attributes["outcome"] = "error"
+                return False, None
+            self.stats.hits += 1
+            if current is not None:
+                current.attributes["outcome"] = "hit"
+            return True, value
 
     def store(self, key: str, value: Any) -> None:
         """Atomically persist ``value`` (temp file + rename)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=path.parent, suffix=".tmp", delete=False
-        )
-        try:
-            with handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(handle.name, path)
-        except BaseException:
-            os.unlink(handle.name)
-            raise
+        with _trace_span("cache.store", key=key[:12]):
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=path.parent, suffix=".tmp", delete=False
+            )
+            try:
+                with handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(handle.name, path)
+            except BaseException:
+                # The temp file may already be gone (``os.replace`` can
+                # consume it and still fail, e.g. on a full or vanishing
+                # filesystem); an unguarded unlink would then raise
+                # FileNotFoundError and mask the original exception.
+                with contextlib.suppress(OSError):
+                    os.unlink(handle.name)
+                raise
         self.stats.stores += 1
 
     def get_or_compute(self, key: str, compute) -> Any:
@@ -138,15 +154,37 @@ class DiskCache:
         return value
 
     # Introspection -----------------------------------------------------
+    #
+    # Parallel ``run_many`` workers replace and evict entries while the
+    # parent process reports cache statistics, so every path listed here
+    # may vanish before (or while) it is inspected; both methods treat a
+    # vanished file or shard directory as simply absent.
+
+    def _entry_paths(self) -> Iterator[Path]:
+        """Entries on disk right now, tolerating concurrent deletion."""
+        if not self.root.is_dir():
+            return
+        try:
+            shards = sorted(self.root.iterdir())
+        except FileNotFoundError:
+            return
+        for shard in shards:
+            try:
+                names = sorted(shard.glob("*.pkl"))
+            except (FileNotFoundError, NotADirectoryError):
+                continue
+            yield from names
 
     def entries(self) -> int:
         """Number of entries currently on disk."""
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(1 for _ in self._entry_paths())
 
     def total_bytes(self) -> int:
         """Bytes occupied by all entries on disk."""
-        if not self.root.is_dir():
-            return 0
-        return sum(path.stat().st_size for path in self.root.glob("*/*.pkl"))
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:
+                continue
+        return total

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core import Design, simulate_frame
 from repro.core.angle import DEFAULT_THRESHOLD, AngleThreshold
 from repro.core.frontend import DesignRun
@@ -124,6 +125,41 @@ def _worker_run(key: RunKey, cache_root: str) -> DesignRun:
     return run
 
 
+def _worker_trace_traced(
+    workload_name: str, cache_root: str
+) -> Tuple[str, List[Dict[str, Any]]]:
+    """Traced pool worker: trace generation plus this worker's span forest.
+
+    Forked workers inherit the parent's half-built tracer state, so the
+    tracer is reset before any spans are recorded here.
+    """
+    obs.reset_tracer()
+    with obs.span("worker.trace", workload=workload_name):
+        result = _worker_trace(workload_name, cache_root)
+    return result, obs.get_tracer().as_dicts()
+
+
+def _worker_run_traced(
+    key: RunKey, cache_root: str
+) -> Tuple[DesignRun, List[Dict[str, Any]]]:
+    """Traced pool worker: one grid point plus this worker's span forest."""
+    obs.reset_tracer()
+    with obs.span(
+        "worker.run", workload=key.workload, design=key.design.name
+    ):
+        result = _worker_run(key, cache_root)
+    return result, obs.get_tracer().as_dicts()
+
+
+def _graft_worker_spans(phase_span, forests: Sequence[List[Dict[str, Any]]]) -> None:
+    """Attach each worker's span forest to a fan-out phase span."""
+    if phase_span is None:
+        return
+    phase_span.attributes["worker_spans"] = [
+        forest for forest in forests if forest
+    ]
+
+
 class ExperimentRunner:
     """Runs and memoises design simulations over the workload set."""
 
@@ -161,10 +197,11 @@ class ExperimentRunner:
             self.memo_hits += 1
             return self._traces[workload.name]
         self.memo_misses += 1
-        if self._disk is not None:
-            pair = _trace_pair(self._disk, workload)
-        else:
-            pair = workload.trace()
+        with obs.span("runner.trace", workload=workload.name):
+            if self._disk is not None:
+                pair = _trace_pair(self._disk, workload)
+            else:
+                pair = workload.trace()
         self._traces[workload.name] = pair
         return pair
 
@@ -191,26 +228,33 @@ class ExperimentRunner:
             self.memo_hits += 1
             return self._runs[key]
         self.memo_misses += 1
-        disk_key = None
-        if self._disk is not None:
-            disk_key = self._disk.key("run", **_run_payload(key))
-            hit, run = self._disk.load(disk_key)
-            if hit:
-                self._runs[key] = run
-                return run
-        scene, trace = self.trace(workload)
-        config = workload.design_config(
-            design,
-            angle_threshold=threshold.effective_radians,
-            aniso_enabled=aniso_enabled,
-            mtu_share=mtu_share,
-            consolidation_enabled=consolidation_enabled,
-        )
-        run = simulate_frame(scene, trace, config)
-        self._runs[key] = run
-        if self._disk is not None and disk_key is not None:
-            self._disk.store(disk_key, run)
-        return run
+        with obs.span(
+            "runner.run", workload=workload.name, design=design.name
+        ) as current:
+            disk_key = None
+            if self._disk is not None:
+                disk_key = self._disk.key("run", **_run_payload(key))
+                hit, run = self._disk.load(disk_key)
+                if hit:
+                    self._runs[key] = run
+                    if current is not None:
+                        current.attributes["source"] = "disk"
+                    return run
+            scene, trace = self.trace(workload)
+            config = workload.design_config(
+                design,
+                angle_threshold=threshold.effective_radians,
+                aniso_enabled=aniso_enabled,
+                mtu_share=mtu_share,
+                consolidation_enabled=consolidation_enabled,
+            )
+            run = simulate_frame(scene, trace, config)
+            if current is not None:
+                current.attributes["source"] = "simulated"
+            self._runs[key] = run
+            if self._disk is not None and disk_key is not None:
+                self._disk.store(disk_key, run)
+            return run
 
     def run_many(
         self,
@@ -265,29 +309,67 @@ class ExperimentRunner:
         else:
             scratch = tempfile.TemporaryDirectory(prefix="repro-cache-")
             cache_root = scratch.name
+        traced = obs.tracing_enabled()
         try:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with obs.span(
+                "runner.run_many", pending=len(pending), jobs=jobs
+            ), ProcessPoolExecutor(max_workers=jobs) as pool:
                 workload_names = []
                 for key in pending:
                     if key.workload not in workload_names:
                         workload_names.append(key.workload)
-                list(
-                    pool.map(
-                        _worker_trace,
-                        workload_names,
-                        [cache_root] * len(workload_names),
-                    )
-                )
-                runs = pool.map(
-                    _worker_run, pending, [cache_root] * len(pending)
-                )
-                for key, run in zip(pending, runs):
-                    self._runs[key] = run
-                    results[key] = run
+                with obs.span(
+                    "runner.trace_phase", workloads=len(workload_names)
+                ) as trace_phase:
+                    if traced:
+                        traced_pairs = list(
+                            pool.map(
+                                _worker_trace_traced,
+                                workload_names,
+                                [cache_root] * len(workload_names),
+                            )
+                        )
+                        _graft_worker_spans(
+                            trace_phase, [spans for _, spans in traced_pairs]
+                        )
+                    else:
+                        list(
+                            pool.map(
+                                _worker_trace,
+                                workload_names,
+                                [cache_root] * len(workload_names),
+                            )
+                        )
+                with obs.span(
+                    "runner.run_phase", runs=len(pending)
+                ) as run_phase:
+                    if traced:
+                        traced_runs = list(
+                            pool.map(
+                                _worker_run_traced,
+                                pending,
+                                [cache_root] * len(pending),
+                            )
+                        )
+                        runs = [run for run, _ in traced_runs]
+                        _graft_worker_spans(
+                            run_phase, [spans for _, spans in traced_runs]
+                        )
+                    else:
+                        runs = pool.map(
+                            _worker_run, pending, [cache_root] * len(pending)
+                        )
+                    for key, run in zip(pending, runs):
+                        self._runs[key] = run
+                        results[key] = run
         finally:
             if scratch is not None:
                 scratch.cleanup()
         return results
+
+    def completed_runs(self) -> Dict[RunKey, DesignRun]:
+        """Snapshot of every design run this runner has produced so far."""
+        return dict(self._runs)
 
     def energy(
         self,

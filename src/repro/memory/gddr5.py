@@ -101,6 +101,21 @@ class Gddr5Memory:
     def total_bytes(self) -> Bytes:
         return self.bus.total_bytes
 
+    def stat_group(self, name: str = "gddr5") -> "StatGroup":
+        """Snapshot of this memory's service counters for telemetry.
+
+        Read by :mod:`repro.obs.snapshot` at frame drain time; building
+        the group costs nothing during simulation.
+        """
+        from repro.sim.stats import StatGroup
+
+        group = StatGroup(name)
+        group.counter("reads").add(self.reads)
+        group.counter("writes").add(self.writes)
+        group.counter("bus_bytes").add(self.bus.total_bytes)
+        group.counter("row_hit_rate").add(self.row_hit_rate())
+        return group
+
     def row_hit_rate(self) -> float:
         hits = sum(
             bank.row_hits for channel in self.channels for bank in channel.banks

@@ -232,6 +232,28 @@ class HybridMemoryCube:
     def internal_bytes(self) -> Bytes:
         return sum(vault.total_bytes for vault in self.vaults)
 
+    def stat_group(self, name: str = "hmc") -> "StatGroup":
+        """Snapshot of the cube's service-loop counters for telemetry.
+
+        The per-vault access distribution goes through an accumulator so
+        reports see load balance (min/mean/max accesses per vault), the
+        property that realises the quoted internal bandwidth.  Read at
+        frame drain time by :mod:`repro.obs.snapshot`.
+        """
+        from repro.sim.stats import StatGroup
+
+        group = StatGroup(name)
+        group.counter("external_reads").add(self.external_reads)
+        group.counter("external_writes").add(self.external_writes)
+        group.counter("internal_reads").add(self.internal_reads)
+        group.counter("link_tx_bytes").add(self.tx_link.total_bytes)
+        group.counter("link_rx_bytes").add(self.rx_link.total_bytes)
+        group.counter("internal_bytes").add(self.internal_bytes)
+        balance = group.accumulator("vault_accesses")
+        for vault in self.vaults:
+            balance.observe(float(vault.accesses))
+        return group
+
     def reset(self) -> None:
         self.tx_link.reset()
         self.rx_link.reset()

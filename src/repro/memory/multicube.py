@@ -95,6 +95,25 @@ class MultiCubeMemory:
     def internal_reads(self) -> int:
         return sum(cube.internal_reads for cube in self.cubes)
 
+    def stat_group(self, name: str = "multicube") -> "StatGroup":
+        """Aggregate counters plus one child group per cube.
+
+        Mirrors :meth:`repro.memory.hmc.HybridMemoryCube.stat_group`, so
+        the design paths can attach whichever memory they hold without
+        caring about the cube count.
+        """
+        from repro.sim.stats import StatGroup
+
+        group = StatGroup(name)
+        group.counter("num_cubes").add(self.num_cubes)
+        group.counter("external_reads").add(self.external_reads)
+        group.counter("internal_reads").add(self.internal_reads)
+        group.counter("external_bytes").add(self.external_bytes)
+        group.counter("internal_bytes").add(self.internal_bytes)
+        for index, cube in enumerate(self.cubes):
+            group.adopt(cube.stat_group(name=f"cube{index}"))
+        return group
+
     def reset(self) -> None:
         for cube in self.cubes:
             cube.reset()

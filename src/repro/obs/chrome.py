@@ -1,0 +1,85 @@
+"""Chrome trace-event export of a recorded span tree.
+
+``chrome://tracing`` (and Perfetto's legacy importer) consume a JSON
+object with a ``traceEvents`` list of *complete* events (``"ph": "X"``),
+each carrying microsecond ``ts``/``dur`` plus ``pid``/``tid`` lane
+coordinates.  Spans recorded by :mod:`repro.obs.tracer` map directly:
+the wall-clock start aligns spans across processes (pool workers ship
+their spans back as dictionaries), and each worker's subtree gets its
+own ``tid`` lane.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+MAIN_TID = 1
+"""Thread-id lane for spans recorded by the driving process."""
+
+WORKER_SPANS_KEY = "worker_spans"
+"""Span attribute under which ``run_many`` grafts worker span forests."""
+
+
+def _min_start(spans: Sequence[Mapping[str, Any]]) -> Optional[float]:
+    """Earliest wall-clock start across a span forest (or None)."""
+    earliest: Optional[float] = None
+    for span in spans:
+        start = span.get("start_wall")
+        if isinstance(start, (int, float)):
+            if earliest is None or start < earliest:
+                earliest = start
+        nested: List[Mapping[str, Any]] = list(span.get("children", ()))
+        for forest in span.get("attributes", {}).get(WORKER_SPANS_KEY, ()):
+            nested.extend(forest)
+        child_min = _min_start(nested)
+        if child_min is not None and (earliest is None or child_min < earliest):
+            earliest = child_min
+    return earliest
+
+
+def _emit(span: Mapping[str, Any], epoch: float, tid: int,
+          events: List[Dict[str, Any]]) -> None:
+    start = float(span.get("start_wall", epoch))
+    duration = span.get("duration") or 0.0
+    args: Dict[str, Any] = {
+        key: value
+        for key, value in span.get("attributes", {}).items()
+        if key != WORKER_SPANS_KEY
+    }
+    stats = span.get("stats") or {}
+    if stats:
+        args["stats"] = dict(stats)
+    events.append(
+        {
+            "name": str(span.get("name", "?")),
+            "ph": "X",
+            "ts": (start - epoch) * 1e6,
+            "dur": float(duration) * 1e6,
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        }
+    )
+    for child in span.get("children", ()):
+        _emit(child, epoch, tid, events)
+    worker_forests = span.get("attributes", {}).get(WORKER_SPANS_KEY, ())
+    for worker_index, forest in enumerate(worker_forests):
+        for worker_span in forest:
+            _emit(worker_span, epoch, MAIN_TID + 1 + worker_index, events)
+
+
+def chrome_trace(spans: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Convert a span forest (``Span.as_dict`` form) to a Chrome trace.
+
+    Returns the full trace object (``traceEvents`` + metadata); dump it
+    with ``json.dumps`` and load the file in ``chrome://tracing``.
+    """
+    epoch = _min_start(spans) or 0.0
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        _emit(span, epoch, MAIN_TID, events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs"},
+    }

@@ -10,6 +10,11 @@ Three benchmarks, written as machine-readable JSON at the repo root:
     A figure-suite slice (Fig. 10) through :class:`ExperimentRunner`
     cold (empty disk cache) and warm (second process over the same
     cache), with the measured cache hit rate.
+``BENCH_tracing.json``
+    The disabled-tracing cost of :mod:`repro.obs` instrumentation: a
+    fixed numeric kernel timed bare vs wrapped in ``timed_stage`` with
+    ``REPRO_TRACE`` off.  The wrapped path must stay within noise of
+    the bare one (the zero-overhead-when-disabled contract).
 
 All numbers are host wall-clock seconds -- the speed of the
 reproduction itself, not of the modelled hardware.
@@ -28,6 +33,7 @@ import numpy as np
 
 BENCH_SAMPLING_FILENAME = "BENCH_sampling.json"
 BENCH_RUNNER_FILENAME = "BENCH_runner.json"
+BENCH_TRACING_FILENAME = "BENCH_tracing.json"
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -209,6 +215,73 @@ def bench_runner(
         }
 
 
+def bench_tracing(repeats: int = 7, calls: int = 400) -> Dict[str, Any]:
+    """Measure what disabled tracing costs instrumented code.
+
+    A fixed ~1 ms numeric kernel is timed bare and wrapped in
+    :func:`repro.obs.timed_stage` with tracing off; with min-of-repeats
+    timing the wrapped path should be indistinguishable from the bare
+    one (a single boolean test per call).  For contrast the wrapped
+    kernel is also timed with tracing *on*, where span bookkeeping is
+    expected to show up.
+    """
+    from repro.experiments.cache import source_version
+    from repro.obs import reset_tracer, set_tracing, timed_stage, tracing_enabled
+
+    size = 160
+    left = np.arange(size * size, dtype=np.float64).reshape(size, size) / size
+    right = left.T.copy()
+
+    def body() -> float:
+        return float(np.dot(left, right).trace())
+
+    wrapped = timed_stage("bench.tracing_body")(body)
+
+    def time_once(fn: Any) -> float:
+        started = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        return time.perf_counter() - started
+
+    was_tracing = tracing_enabled()
+    set_tracing(False, propagate_env=False)
+    try:
+        # Interleave the three variants within every repeat so they all
+        # sample the same machine noise (frequency scaling, BLAS thread
+        # wake-ups); min-of-repeats then compares like with like.
+        time_once(body)
+        time_once(wrapped)
+        bare_seconds = float("inf")
+        disabled_seconds = float("inf")
+        enabled_seconds = float("inf")
+        for _ in range(repeats):
+            bare_seconds = min(bare_seconds, time_once(body))
+            disabled_seconds = min(disabled_seconds, time_once(wrapped))
+            set_tracing(True, propagate_env=False)
+            enabled_seconds = min(enabled_seconds, time_once(wrapped))
+            reset_tracer()  # drop the benchmark's own spans
+            set_tracing(False, propagate_env=False)
+    finally:
+        set_tracing(was_tracing, propagate_env=False)
+
+    disabled_overhead = (
+        disabled_seconds / bare_seconds - 1.0 if bare_seconds > 0 else 0.0
+    )
+    return {
+        "schema": "repro-bench-tracing/1",
+        "source_version": source_version(),
+        "calls": calls,
+        "repeats": repeats,
+        "bare_seconds": bare_seconds,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "disabled_overhead_ratio": disabled_overhead,
+        "enabled_overhead_ratio": (
+            enabled_seconds / bare_seconds - 1.0 if bare_seconds > 0 else 0.0
+        ),
+    }
+
+
 def run_bench(
     fast: bool = False,
     jobs: Optional[int] = None,
@@ -256,6 +329,18 @@ def run_bench(
         f"hit rate {runner['cache_hit_rate']:.2f})"
     )
     print(f"wrote {runner_path}")
+
+    tracing = bench_tracing()
+    tracing_path = out / BENCH_TRACING_FILENAME
+    tracing_path.write_text(json.dumps(tracing, indent=2) + "\n")
+    print(
+        f"tracing: disabled overhead "
+        f"{tracing['disabled_overhead_ratio'] * 100:+.2f}%, "
+        f"enabled {tracing['enabled_overhead_ratio'] * 100:+.2f}% "
+        f"(bare {tracing['bare_seconds'] * 1000:.1f} ms "
+        f"per {tracing['calls']} calls)"
+    )
+    print(f"wrote {tracing_path}")
 
     if not summary["bit_identical"]:
         print("FAIL: batched sampler output is not bit-identical to scalar")

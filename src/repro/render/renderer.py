@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.render.camera import Camera
 from repro.render.framebuffer import Framebuffer
 from repro.render.raster import Rasterizer, RasterStats
@@ -142,7 +143,10 @@ class Renderer:
         raster statistics are meaningful.
         """
         framebuffer = Framebuffer(self.width, self.height)
-        shaded = self.rasterizer.rasterize_scene(scene, camera, framebuffer)
+        with obs.span(
+            "render.trace_only", width=self.width, height=self.height
+        ):
+            shaded = self.rasterizer.rasterize_scene(scene, camera, framebuffer)
         requests = [request for _, request in shaded]
         trace = FragmentTrace(
             width=self.width,
@@ -169,26 +173,38 @@ class Renderer:
         ``angle_threshold`` (radians) only applies to
         :attr:`SamplingMode.ATFIM`.
         """
-        framebuffer = Framebuffer(self.width, self.height)
-        shaded = self.rasterizer.rasterize_scene(scene, camera, framebuffer)
-
-        parent_store: Optional[_AngleTaggedParentStore] = None
-        if mode is SamplingMode.ATFIM:
-            parent_store = _AngleTaggedParentStore(threshold=angle_threshold)
-
-        requests: List[TextureRequest] = [request for _, request in shaded]
-        batchable = mode in (SamplingMode.EXACT, SamplingMode.ISOTROPIC)
-        if batchable and self.batch_sampling and shaded:
-            colors = self._shade_batch(scene, requests, mode)
-            for index, (fragment, _request) in enumerate(shaded):
-                framebuffer.write(
-                    fragment.x, fragment.y, fragment.depth, colors[index]
+        with obs.span(
+            "render.render",
+            mode=mode.value,
+            width=self.width,
+            height=self.height,
+        ):
+            framebuffer = Framebuffer(self.width, self.height)
+            with obs.span("render.rasterize"):
+                shaded = self.rasterizer.rasterize_scene(
+                    scene, camera, framebuffer
                 )
-        else:
-            for fragment, request in shaded:
-                chain = scene.mipmap_chain(request.texture_id)
-                color = self._shade(chain, request, mode, parent_store)
-                framebuffer.write(fragment.x, fragment.y, fragment.depth, color)
+
+            parent_store: Optional[_AngleTaggedParentStore] = None
+            if mode is SamplingMode.ATFIM:
+                parent_store = _AngleTaggedParentStore(threshold=angle_threshold)
+
+            requests: List[TextureRequest] = [request for _, request in shaded]
+            with obs.span("render.shade", fragments=len(shaded)):
+                batchable = mode in (SamplingMode.EXACT, SamplingMode.ISOTROPIC)
+                if batchable and self.batch_sampling and shaded:
+                    colors = self._shade_batch(scene, requests, mode)
+                    for index, (fragment, _request) in enumerate(shaded):
+                        framebuffer.write(
+                            fragment.x, fragment.y, fragment.depth, colors[index]
+                        )
+                else:
+                    for fragment, request in shaded:
+                        chain = scene.mipmap_chain(request.texture_id)
+                        color = self._shade(chain, request, mode, parent_store)
+                        framebuffer.write(
+                            fragment.x, fragment.y, fragment.depth, color
+                        )
 
         trace = FragmentTrace(
             width=self.width,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple, Union
 
@@ -14,6 +15,11 @@ class Counter:
     value: float = 0.0
 
     def add(self, amount: float = 1.0) -> None:
+        # Non-finite amounts must be rejected explicitly: ``nan < 0`` is
+        # False, so the sign guard alone would let NaN poison ``value``
+        # for every later report.
+        if not math.isfinite(amount):
+            raise ValueError(f"{self.name}: non-finite amount {amount!r}")
         if amount < 0:
             raise ValueError(f"{self.name}: counters only increase")
         self.value += amount
@@ -33,6 +39,12 @@ class Accumulator:
     maximum: float = field(default=float("-inf"))
 
     def observe(self, sample: float) -> None:
+        # NaN slips through ordered comparisons (every one is False): it
+        # would leave ``minimum``/``maximum`` at their +/-inf identities
+        # while ``count > 0``, so ``flatten()`` would leak ``inf`` into
+        # reports; +/-inf samples would put inf in ``total``/``mean``.
+        if not math.isfinite(sample):
+            raise ValueError(f"{self.name}: non-finite sample {sample!r}")
         self.count += 1
         self.total += sample
         if sample < self.minimum:
@@ -124,6 +136,16 @@ class StatGroup:
         if name not in self._children:
             self._children[name] = StatGroup(name)
         return self._children[name]
+
+    def adopt(self, group: "StatGroup") -> "StatGroup":
+        """Attach an existing group as a child under its own name.
+
+        Snapshot builders (:mod:`repro.obs.snapshot`) assemble trees
+        from groups produced by different components; ``adopt`` grafts
+        them without copying, replacing any same-named child.
+        """
+        self._children[group.name] = group
+        return group
 
     def flatten(self, prefix: str = "") -> Iterator[Tuple[str, float]]:
         """Yield ``(dotted.path, value)`` pairs for the whole subtree.

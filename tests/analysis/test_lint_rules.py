@@ -250,6 +250,45 @@ class TestNoqaEscapeHatch:
         assert ids_for(source) == []
 
 
+class TestMonotonicOutsideObs:
+    OBS_PATH = "src/repro/obs/tracer.py"
+    PERF_PATH = "src/repro/perf/bench.py"
+
+    def test_monotonic_flagged_in_sim(self):
+        assert "REP108" in ids_for("import time\nt = time.monotonic()\n")
+
+    def test_monotonic_ns_flagged(self):
+        assert "REP108" in ids_for("import time\nt = time.monotonic_ns()\n")
+
+    def test_flagged_outside_the_package_too(self):
+        source = "import time\nt = time.monotonic()\n"
+        assert "REP108" in ids_for(source, TEST_PATH)
+
+    def test_obs_module_exempt(self):
+        source = "import time\nt = time.monotonic()\n"
+        assert "REP108" not in ids_for(source, self.OBS_PATH)
+
+    def test_perf_module_exempt(self):
+        source = "import time\nt = time.monotonic()\n"
+        assert "REP108" not in ids_for(source, self.PERF_PATH)
+
+    def test_other_time_functions_not_flagged_by_rep108(self):
+        assert "REP108" not in ids_for("import time\nt = time.time()\n")
+
+    def test_noqa_suppresses(self):
+        source = (
+            "import time\n"
+            "t = time.monotonic()  # repro: noqa(REP108, REP102) -- fixture\n"
+        )
+        assert ids_for(source) == []
+
+    def test_wall_clock_rule_exempts_obs_package(self):
+        # REP102's exemption must cover repro.obs alongside repro.perf:
+        # the tracer exists to read the host clocks.
+        source = "import time\nt = time.time()\n"
+        assert "REP102" not in ids_for(source, self.OBS_PATH)
+
+
 class TestFindingFormat:
     def test_location_and_rule_in_text(self):
         findings = findings_for("meter.value += 1\n")

@@ -1,0 +1,164 @@
+"""DiskCache robustness under concurrent mutation and failing stores.
+
+``run_many`` workers replace and evict entries while the parent process
+reports cache statistics; these tests simulate the races the cache must
+tolerate (vanished entries, vanished shards, stores that fail mid-way).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import DiskCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(root=tmp_path / "cache")
+
+
+def _populate(cache: DiskCache, count: int) -> list:
+    keys = [cache.key("unit", index=i) for i in range(count)]
+    for index, key in enumerate(keys):
+        cache.store(key, {"index": index})
+    return keys
+
+
+class TestIntrospectionUnderConcurrentDeletion:
+    def test_entries_and_bytes_on_missing_root(self, cache):
+        assert cache.entries() == 0
+        assert cache.total_bytes() == 0
+
+    def test_entries_counts_stored_values(self, cache):
+        _populate(cache, 3)
+        assert cache.entries() == 3
+        assert cache.total_bytes() > 0
+
+    def test_vanished_entry_between_glob_and_stat(self, cache, monkeypatch):
+        """A worker replacing an entry can unlink it between the listing
+        and the ``stat`` call; total_bytes must skip it, not crash."""
+        _populate(cache, 3)
+        paths = list(cache._entry_paths())
+        victim = paths[1]
+        original_stat = Path.stat
+        raced = []
+
+        def racing_stat(self, *args, **kwargs):
+            if self == victim and not raced:
+                raced.append(True)
+                os.unlink(self)
+            return original_stat(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        assert cache.total_bytes() > 0
+        monkeypatch.undo()
+        assert cache.entries() == 2
+
+    def test_vanished_shard_directory(self, cache):
+        keys = _populate(cache, 4)
+        shard = cache._path(keys[0]).parent
+        shutil.rmtree(shard)
+        remaining = cache.entries()
+        assert remaining == 4 - len(
+            [k for k in keys if cache._path(k).parent == shard]
+        )
+        assert cache.total_bytes() >= 0
+
+    def test_shard_replaced_by_file(self, cache):
+        """A non-directory where a shard is expected is skipped."""
+        keys = _populate(cache, 2)
+        shard = cache._path(keys[0]).parent
+        shutil.rmtree(shard)
+        shard.write_text("not a directory")
+        assert cache.entries() >= 0
+        assert cache.total_bytes() >= 0
+
+    def test_load_after_eviction_is_a_miss(self, cache):
+        keys = _populate(cache, 1)
+        os.unlink(cache._path(keys[0]))
+        hit, value = cache.load(keys[0])
+        assert not hit and value is None
+        assert cache.stats.misses == 1
+
+
+class TestStoreFailure:
+    def test_original_exception_survives_consumed_temp_file(
+        self, cache, monkeypatch
+    ):
+        """``os.replace`` can consume the temp file and still fail (full
+        or vanishing filesystem); the cleanup unlink must not mask the
+        original error with FileNotFoundError."""
+        key = cache.key("unit", index=0)
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+
+        class DiskFull(OSError):
+            pass
+
+        def consuming_replace(src, dst):
+            os.unlink(src)  # the temp file is gone...
+            raise DiskFull("no space left on device")  # ...and it failed
+
+        monkeypatch.setattr(os, "replace", consuming_replace)
+        with pytest.raises(DiskFull, match="no space left"):
+            cache.store(key, {"value": 1})
+        assert cache.stats.stores == 0
+
+    def test_failed_store_leaves_no_temp_files(self, cache, monkeypatch):
+        key = cache.key("unit", index=0)
+
+        def failing_replace(src, dst):
+            raise OSError("replace failed")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="replace failed"):
+            cache.store(key, {"value": 1})
+        shard = cache._path(key).parent
+        assert list(shard.glob("*.tmp")) == []
+
+    def test_store_succeeds_normally_after_failure(self, cache):
+        key = cache.key("unit", index=0)
+        cache.store(key, {"value": 41})
+        hit, value = cache.load(key)
+        assert hit and value == {"value": 41}
+
+
+class TestParallelWarmRunWithEviction:
+    def test_run_many_with_concurrent_eviction(self, tmp_path):
+        """A warm parallel ``run_many`` while another process evicts
+        cache entries must complete (misses are recomputed, vanished
+        introspection paths are tolerated)."""
+        from repro.core import Design
+        from repro.experiments.runner import (
+            FAST_WORKLOADS,
+            ExperimentRunner,
+            RunKey,
+        )
+
+        cache_dir = tmp_path / "cache"
+        names = FAST_WORKLOADS[:2]
+        keys = [
+            RunKey(name, design, 0.0314159, True)
+            for name in names
+            for design in (Design.BASELINE, Design.A_TFIM)
+        ]
+        warmer = ExperimentRunner(names, cache_dir=cache_dir)
+        warm_results = warmer.run_many(keys, jobs=2)
+        assert len(warm_results) == len(keys)
+
+        # Evict half the entries mid-flight: delete every other shard
+        # before a second runner consults the warm cache.
+        cache = DiskCache(root=cache_dir)
+        shards = sorted(p for p in cache_dir.iterdir() if p.is_dir())
+        for shard in shards[::2]:
+            shutil.rmtree(shard)
+
+        rerun = ExperimentRunner(names, cache_dir=cache_dir)
+        results = rerun.run_many(keys, jobs=2)
+        assert len(results) == len(keys)
+        stats = rerun.cache_stats()  # introspection over the mutated tree
+        assert stats.disk_entries >= 0
+        assert stats.disk_bytes >= 0

@@ -17,6 +17,21 @@ class TestCounter:
         with pytest.raises(ValueError):
             counter.add(-1.0)
 
+    def test_nan_add_rejected(self):
+        # nan < 0 is False, so the sign guard alone would accept NaN and
+        # poison the counter for every later report.
+        counter = Counter("events")
+        with pytest.raises(ValueError, match="non-finite"):
+            counter.add(float("nan"))
+        assert counter.value == 0.0
+
+    def test_infinite_add_rejected(self):
+        counter = Counter("events")
+        counter.add(2.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            counter.add(float("inf"))
+        assert counter.value == 2.0
+
     def test_reset(self):
         counter = Counter("events")
         counter.add(4)
@@ -36,6 +51,39 @@ class TestAccumulator:
 
     def test_empty_mean_is_zero(self):
         assert Accumulator("lat").mean == 0.0
+
+    def test_nan_observe_rejected_state_unchanged(self):
+        # A NaN sample fails every ordered comparison, so it would leave
+        # minimum/maximum at their +/-inf identities with count > 0 --
+        # and flatten() would then leak inf into reports.
+        acc = Accumulator("lat")
+        acc.observe(2.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            acc.observe(float("nan"))
+        assert acc.count == 1
+        assert acc.total == 2.0
+        assert acc.minimum == 2.0
+        assert acc.maximum == 2.0
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf")])
+    def test_infinite_observe_rejected(self, bad):
+        acc = Accumulator("lat")
+        with pytest.raises(ValueError, match="non-finite"):
+            acc.observe(bad)
+        assert acc.count == 0
+        assert acc.minimum_or_none is None
+
+    def test_flatten_never_emits_inf_after_rejection(self):
+        import math
+
+        group = StatGroup("g")
+        acc = group.accumulator("lat")
+        with pytest.raises(ValueError):
+            acc.observe(float("nan"))
+        assert all(
+            value is None or math.isfinite(value)
+            for value in group.as_dict().values()
+        )
 
     def test_merge(self):
         left = Accumulator("lat")
@@ -136,6 +184,21 @@ class TestStatGroup:
         root = StatGroup("a")
         root.child("b").child("c").counter("x").add(2)
         assert root.as_dict()["a.b.c.x"] == 2.0
+
+    def test_adopt_grafts_group_under_its_own_name(self):
+        root = StatGroup("run")
+        memory = StatGroup("memory")
+        memory.counter("reads").add(9)
+        assert root.adopt(memory) is memory
+        assert root.as_dict()["run.memory.reads"] == 9.0
+
+    def test_adopt_replaces_same_named_child(self):
+        root = StatGroup("run")
+        root.child("memory").counter("reads").add(1)
+        fresh = StatGroup("memory")
+        fresh.counter("reads").add(5)
+        root.adopt(fresh)
+        assert root.as_dict()["run.memory.reads"] == 5.0
 
     def test_reset_recurses(self):
         root = StatGroup("a")
