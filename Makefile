@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-units lint-sarif test check rules invariants bench
+.PHONY: lint lint-units lint-sarif test check rules invariants bench chaos
 
 lint:
 	$(PYTHON) -m repro.analysis lint
@@ -23,5 +23,8 @@ test:
 
 bench:
 	$(PYTHON) -m repro bench
+
+chaos:
+	$(PYTHON) -m repro chaos --jobs 2 --manifest CHAOS.manifest.json
 
 check: lint test

@@ -12,7 +12,11 @@ Rule IDs are stable and gate-able:
 * ``REP107`` — public function in ``core``/``memory``/``texture`` missing
   type annotations.
 * ``REP108`` — ``time.monotonic()`` call site outside ``repro.perf`` /
-  ``repro.obs``; host-side timing goes through the tracing spans.
+  ``repro.obs`` / ``repro.faults``; host-side timing goes through the
+  tracing spans.
+* ``REP109`` — bare ``map()``/``submit()`` on a process/thread pool
+  outside ``repro.faults``; batch fan-out goes through the
+  fault-tolerant ``repro.faults.run_fanout`` scheduler.
 
 The REP200-series unit-aware dataflow rules (``bytes + cycles``,
 degree/radian confusion, untagged public quantities, ...) live in
@@ -116,11 +120,11 @@ class WallClockRule(LintRule):
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: LintContext) -> bool:
-        # repro.perf is the benchmark harness and repro.obs the tracing
-        # layer: both exist to measure host wall-clock time (never
-        # simulated time), so the rule would flag every line they exist
-        # to write.
-        if "src/repro/perf/" in ctx.path or "src/repro/obs/" in ctx.path:
+        # repro.perf is the benchmark harness, repro.obs the tracing
+        # layer, and repro.faults the retry/timeout scheduler: all three
+        # exist to measure or pace host wall-clock time (never simulated
+        # time), so the rule would flag every line they exist to write.
+        if ctx.in_subpackages(("perf", "obs", "faults")):
             return False
         return ctx.is_sim_source
 
@@ -405,21 +409,20 @@ class MonotonicOutsideObsRule(LintRule):
     """Raw ``time.monotonic()`` reads scattered through the codebase are
     untraceable one-off timers; host phases are timed with
     ``repro.obs.span()``/``timed_stage`` so they land in run manifests
-    and Chrome traces.  ``repro.perf`` (the benchmark harness) and
-    ``repro.obs`` itself are the only legitimate call sites."""
+    and Chrome traces.  ``repro.perf`` (the benchmark harness),
+    ``repro.obs`` itself and ``repro.faults`` (whose scheduler must
+    measure task deadlines) are the only legitimate call sites."""
 
     rule_id = "REP108"
     name = "monotonic-outside-obs"
     description = (
-        "time.monotonic() outside repro.perf/repro.obs; "
+        "time.monotonic() outside repro.perf/repro.obs/repro.faults; "
         "time host phases with repro.obs spans"
     )
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: LintContext) -> bool:
-        return not (
-            "src/repro/perf/" in ctx.path or "src/repro/obs/" in ctx.path
-        )
+        return not ctx.in_subpackages(("perf", "obs", "faults"))
 
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         func = node.func  # type: ignore[attr-defined]
@@ -439,6 +442,68 @@ class MonotonicOutsideObsRule(LintRule):
             )
 
 
+# ---------------------------------------------------------------------------
+# REP109 — batch fan-out goes through the fault-tolerant scheduler.
+# ---------------------------------------------------------------------------
+
+_POOL_METHODS = frozenset({"map", "submit"})
+_POOL_NAME_HINTS = ("pool", "executor")
+
+
+def _looks_like_pool(node: ast.expr) -> bool:
+    """Whether an expression plausibly names a process/thread pool."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return False
+        return name.endswith(("PoolExecutor", "Pool"))
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _POOL_NAME_HINTS)
+
+
+class BarePoolMapRule(LintRule):
+    """``pool.map()`` abandons the whole batch when one worker dies and
+    retries nothing; :func:`repro.faults.run_fanout` retries failed
+    attempts, rebuilds broken pools and degrades to serial, so it is the
+    one sanctioned way to fan batch work out (``repro.faults`` itself is
+    the only module allowed to talk to the raw executor)."""
+
+    rule_id = "REP109"
+    name = "bare-pool-map"
+    description = (
+        "map()/submit() on a process/thread pool outside repro.faults; "
+        "fan out through repro.faults.run_fanout"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not ctx.in_subpackages(("faults",))
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        func = node.func  # type: ignore[attr-defined]
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _POOL_METHODS:
+            return
+        if _looks_like_pool(func.value):
+            ctx.report(
+                self,
+                node,
+                f"bare {func.attr}() on a process/thread pool; schedule "
+                "batch work through repro.faults.run_fanout",
+            )
+
+
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     StatMutationRule(),
     WallClockRule(),
@@ -448,6 +513,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     FloatEqualityRule(),
     PublicAnnotationRule(),
     MonotonicOutsideObsRule(),
+    BarePoolMapRule(),
     UnitDataflowRule(),
 )
 

@@ -11,6 +11,8 @@ Subcommands:
   ``BENCH_sampling.json`` / ``BENCH_runner.json``.
 * ``trace <manifest.json>`` -- convert a run manifest's span tree to
   Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto).
+* ``chaos`` -- run the design grid under an injected fault plan and
+  verify the results stay bit-identical to a clean serial run.
 
 ``report``, ``fig`` and ``bench`` accept ``--jobs N`` to fan design-point
 simulations out over processes; ``report`` persists results under
@@ -18,6 +20,10 @@ simulations out over processes; ``report`` persists results under
 The same three accept ``--manifest [PATH]`` to record a
 :class:`~repro.obs.manifest.RunManifest` (tracing is switched on for the
 run); ``REPRO_TRACE=1`` enables span recording everywhere else.
+
+The top-level ``--faults SPEC`` switch (equivalent: the ``REPRO_FAULTS``
+environment variable) activates a deterministic fault-injection plan for
+any subcommand -- see :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -205,6 +211,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return code
 
 
+DEFAULT_CHAOS_SPEC = "seed=7,crash=0.2,fail=0.2,corrupt=0.2,store=0.1"
+"""The ``chaos`` subcommand's default fault plan: every injection site
+exercised at rates high enough to fire on a 12-point grid."""
+
+
+def _run_signature(run) -> tuple:
+    """The fields two runs must agree on to count as bit-identical."""
+    return (
+        run.frame_cycles,
+        run.texture_cycles,
+        run.external_texture_bytes,
+        run.frame.num_requests,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Prove the fault-tolerant fan-out: clean serial vs faulted parallel."""
+    import tempfile
+
+    from repro import faults
+    from repro.experiments.runner import RunKey
+    from repro.faults import FAST_RETRIES, FaultPlan
+
+    spec = args.faults if getattr(args, "faults", None) else DEFAULT_CHAOS_SPEC
+    plan = FaultPlan.parse(spec)
+    names = [args.workload] if args.workload else list(FAST_WORKLOADS)
+    keys = [
+        RunKey(name, design, DEFAULT_THRESHOLD.effective_radians, True)
+        for name in names
+        for design in Design
+    ]
+    jobs = args.jobs or 2
+    manifest_requested = args.manifest is not None
+    was_tracing = obs.tracing_enabled()
+    if manifest_requested and not was_tracing:
+        obs.set_tracing(True)
+    runner = None
+    try:
+        with obs.span("cli.chaos", plan=plan.describe(), jobs=jobs):
+            print(f"chaos: plan [{plan.describe()}] over {len(keys)} grid "
+                  f"points, jobs={jobs}")
+            with tempfile.TemporaryDirectory(
+                prefix="repro-chaos-clean-"
+            ) as clean_dir, faults.suppress():
+                clean_runner = ExperimentRunner(names, cache_dir=clean_dir)
+                clean = clean_runner.run_many(keys, jobs=1)
+            previous = os.environ.get(faults.ENV_FLAG)
+            os.environ[faults.ENV_FLAG] = spec
+            faults.activate(plan)
+            try:
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-chaos-"
+                ) as chaos_dir:
+                    runner = ExperimentRunner(
+                        names, cache_dir=chaos_dir, retry_policy=FAST_RETRIES
+                    )
+                    faulted = runner.run_many(keys, jobs=jobs)
+            finally:
+                faults.reset()
+                if previous is None:
+                    os.environ.pop(faults.ENV_FLAG, None)
+                else:
+                    os.environ[faults.ENV_FLAG] = previous
+            report = runner.fanout_report()
+            counts = report.outcome_counts()
+            print(
+                "outcomes: "
+                + " ".join(f"{name}={count}" for name, count in counts.items())
+                + f"  retries={report.total_retries}"
+                + f" pool_rebuilds={report.pool_rebuilds}"
+            )
+            missing = [key for key in keys if key not in faulted]
+            mismatched = [
+                key
+                for key in keys
+                if key in faulted
+                and _run_signature(faulted[key]) != _run_signature(clean[key])
+            ]
+            for key in missing:
+                print(f"MISSING: {key}")
+            for key in mismatched:
+                print(f"MISMATCH: {key}")
+            identical = not missing and not mismatched
+            print("bit-identical to clean serial run: "
+                  + ("yes" if identical else "NO"))
+        if manifest_requested:
+            from repro.obs.manifest import build_manifest
+
+            record = build_manifest(
+                command="chaos",
+                config={"plan": plan.as_dict(), "jobs": jobs,
+                        "workloads": names},
+                runner=runner,
+            )
+            # The injector is already deactivated (the comparison runs
+            # clean), so record the exercised plan explicitly.
+            record.faults.setdefault("plan", plan.as_dict())
+            record.faults["bit_identical"] = identical
+            path = args.manifest or "CHAOS.manifest.json"
+            record.write(path)
+            print(f"wrote {path}")
+    finally:
+        if manifest_requested and not was_tracing:
+            obs.set_tracing(False)
+    return 0 if identical else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.manifest import write_chrome_trace
 
@@ -228,6 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every simulated frame against the conservation "
         "invariants of repro.analysis.invariants (exits with a traceback "
         "on the first violation)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="activate a deterministic fault-injection plan for this run "
+        "(e.g. 'seed=7,crash=0.2,corrupt=0.2'); equivalent to setting "
+        "REPRO_FAULTS",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -298,6 +419,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", default=None,
                        help="output path (default: <manifest>.trace.json)")
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the design grid under injected faults; verify results "
+        "stay bit-identical to a clean serial run",
+    )
+    chaos.add_argument("--workload", choices=workload_names(), default=None,
+                       help="single workload (default: the fast subset, a "
+                       "12-point grid)")
+    chaos.add_argument("--jobs", type=int, default=None,
+                       help="parallel workers for the faulted run "
+                       "(default: 2)")
+    chaos.add_argument("--manifest", nargs="?", const="", default=None,
+                       help="record a run manifest with the fault plan and "
+                       "per-key outcomes (optional path; default "
+                       "CHAOS.manifest.json)")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 
@@ -305,21 +443,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not args.check_invariants:
-        return args.func(args)
-    # Thread the flag through every simulation layer (runner, report,
-    # sequence) via the environment switch the frontend consults.
-    from repro.analysis.invariants import ENV_FLAG
+    # Both switches thread through simulation layers (runner, report,
+    # pool workers) via the environment variables those layers consult;
+    # restore them afterwards so embedding callers see no side effects.
+    restores = []
+    faults_activated = False
+    if args.check_invariants:
+        from repro.analysis.invariants import ENV_FLAG as invariants_flag
 
-    previous = os.environ.get(ENV_FLAG)
-    os.environ[ENV_FLAG] = "1"
+        restores.append((invariants_flag, os.environ.get(invariants_flag)))
+        os.environ[invariants_flag] = "1"
+    if args.faults:
+        from repro import faults
+
+        plan = faults.FaultPlan.parse(args.faults)
+        restores.append((faults.ENV_FLAG, os.environ.get(faults.ENV_FLAG)))
+        os.environ[faults.ENV_FLAG] = args.faults
+        faults.activate(plan)
+        faults_activated = True
     try:
         return args.func(args)
     finally:
-        if previous is None:
-            os.environ.pop(ENV_FLAG, None)
-        else:
-            os.environ[ENV_FLAG] = previous
+        if faults_activated:
+            from repro import faults
+
+            faults.reset()
+        for flag, previous in restores:
+            if previous is None:
+                os.environ.pop(flag, None)
+            else:
+                os.environ[flag] = previous
 
 
 if __name__ == "__main__":

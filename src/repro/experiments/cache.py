@@ -12,7 +12,17 @@ The cache root resolves, in order: the explicit ``root`` argument, the
 ``REPRO_CACHE_DIR`` environment variable, then ``.repro-cache`` under the
 current working directory.  Entries are pickle files sharded by the first
 two hex digits of the key; stores are atomic (temp file + ``os.replace``)
-so parallel workers never observe torn writes.
+so parallel workers never observe torn writes, and each entry embeds a
+CRC32 checksum over its pickle payload so a corrupt or truncated file is
+detected on load and counted as a miss (the value is recomputed and the
+entry overwritten).
+
+The cache is an accelerator, never a point of failure: a value that was
+already computed must reach the caller even when persisting it fails.
+:meth:`DiskCache.store_safe` (used by :meth:`DiskCache.get_or_compute`
+and every runner call site) downgrades store errors to a warning plus a
+``stats.errors`` bump.  Fault-injection plans (:mod:`repro.faults`) can
+force store failures and corrupt writes here to prove those paths.
 """
 
 from __future__ import annotations
@@ -22,17 +32,45 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
+import warnings
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional, Tuple
 
+from repro.faults.injector import active_injector
 from repro.obs.tracer import span as _trace_span
 
 _SOURCE_VERSION: Optional[str] = None
 
 _MISS = object()
 """Sentinel distinguishing "no entry" from a legitimately-None value."""
+
+_MAGIC = b"RPC1"
+"""Entry-format marker: magic + little-endian CRC32 + pickle payload."""
+_HEADER = struct.Struct("<4sI")
+
+
+def _frame(payload: bytes) -> bytes:
+    """Wrap a pickle payload in the checksummed entry format."""
+    return _HEADER.pack(_MAGIC, zlib.crc32(payload)) + payload
+
+
+def _unframe(data: bytes) -> bytes:
+    """Return the verified payload, raising ``ValueError`` on corruption.
+
+    Entries from before the checksummed format (no magic) pass through
+    unverified; their pickling layer still catches gross corruption.
+    """
+    if len(data) < _HEADER.size or not data.startswith(_MAGIC):
+        return data
+    _magic, checksum = _HEADER.unpack_from(data)
+    payload = data[_HEADER.size:]
+    if zlib.crc32(payload) != checksum:
+        raise ValueError("cache entry failed its CRC32 check")
+    return payload
 
 
 def source_version() -> str:
@@ -98,20 +136,26 @@ class DiskCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def load(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; corrupt entries count as misses."""
+        """Return ``(hit, value)``; corrupt entries count as misses.
+
+        Corruption is detected twice over: the CRC32 embedded by
+        :meth:`store` rejects truncated or bit-flipped payloads, and the
+        unpickler rejects whatever a checksum-less legacy entry managed
+        to hide.  Either way the entry reads as a miss (it will be
+        recomputed and overwritten) and ``stats.errors`` records it.
+        """
         path = self._path(key)
         with _trace_span("cache.load", key=key[:12]) as current:
             try:
-                with path.open("rb") as handle:
-                    value = pickle.load(handle)
+                data = path.read_bytes()
+                value = pickle.loads(_unframe(data))
             except FileNotFoundError:
                 self.stats.misses += 1
                 if current is not None:
                     current.attributes["outcome"] = "miss"
                 return False, None
-            except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
-                # A torn or stale-format entry: treat as a miss (it will be
-                # recomputed and overwritten) but record that it happened.
+            except (pickle.UnpicklingError, EOFError, AttributeError,
+                    ValueError, OSError):
                 self.stats.errors += 1
                 self.stats.misses += 1
                 if current is not None:
@@ -123,16 +167,30 @@ class DiskCache:
             return True, value
 
     def store(self, key: str, value: Any) -> None:
-        """Atomically persist ``value`` (temp file + rename)."""
+        """Atomically persist ``value`` (temp file + rename), checksummed.
+
+        Raises on failure -- callers that must survive a failed store
+        (any caller holding an already-computed value) go through
+        :meth:`store_safe` instead.  An active fault plan may force this
+        method to raise ``OSError`` or to write a corrupt entry.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        injector = active_injector()
         with _trace_span("cache.store", key=key[:12]):
+            if injector is not None and injector.store_should_fail(key):
+                raise OSError(f"injected store failure for key {key[:12]}")
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            if injector is not None:
+                corrupted = injector.corrupt_payload(key, payload)
+                if corrupted is not None:
+                    payload = corrupted
             handle = tempfile.NamedTemporaryFile(
                 mode="wb", dir=path.parent, suffix=".tmp", delete=False
             )
             try:
                 with handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(_frame(payload))
                 os.replace(handle.name, path)
             except BaseException:
                 # The temp file may already be gone (``os.replace`` can
@@ -144,13 +202,38 @@ class DiskCache:
                 raise
         self.stats.stores += 1
 
+    def store_safe(self, key: str, value: Any) -> bool:
+        """Persist ``value`` if possible; never raise.
+
+        The graceful-degradation contract: a store failure costs future
+        reuse, not the present result.  Returns whether the store
+        succeeded; failures warn and bump ``stats.errors``.
+        """
+        try:
+            self.store(key, value)
+        except (OSError, pickle.PicklingError) as error:
+            self.stats.errors += 1
+            warnings.warn(
+                f"cache store failed for key {key[:12]} ({error!r}); "
+                "continuing with the computed value",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        return True
+
     def get_or_compute(self, key: str, compute) -> Any:
-        """Load ``key`` or run ``compute()`` and persist its result."""
+        """Load ``key`` or run ``compute()`` and persist its result.
+
+        The computed value is returned even when persisting it fails
+        (see :meth:`store_safe`): losing a cache entry must never lose
+        the computation that produced it.
+        """
         hit, value = self.load(key)
         if hit:
             return value
         value = compute()
-        self.store(key, value)
+        self.store_safe(key, value)
         return value
 
     # Introspection -----------------------------------------------------

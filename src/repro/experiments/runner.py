@@ -13,26 +13,47 @@ Three layers, consulted in order:
   figure suite are incremental across processes and sessions (enable by
   passing ``cache_dir`` or setting ``REPRO_CACHE_DIR``);
 * :meth:`ExperimentRunner.run_many`, which fans a batch of grid points
-  out over a ``ProcessPoolExecutor`` -- traces first (one per distinct
-  workload), then the design runs -- with workers communicating through
-  the disk cache rather than shipping multi-megabyte traces back.
+  out over a process pool -- traces first (one per distinct workload),
+  then the design runs -- with workers communicating through the disk
+  cache rather than shipping multi-megabyte traces back.
+
+The fan-out is fault tolerant: scheduling goes through
+:func:`repro.faults.executor.run_fanout`, so a failed task attempt is
+retried with exponential backoff, a dead worker (``BrokenProcessPool``)
+triggers a pool rebuild with in-flight keys requeued, and a task that
+exhausts its retry budget degrades to serial in-process execution.
+Whatever happens, ``run_many`` returns every result it obtained, and
+:meth:`ExperimentRunner.fanout_report` labels each key with its
+:class:`~repro.faults.outcomes.RunOutcome` (ok / retried / degraded /
+failed).  Memoisation counters advance identically in the serial and
+parallel branches: one miss per scheduled grid point (trace memoisation
+is only counted by direct :meth:`ExperimentRunner.trace` /
+:meth:`ExperimentRunner.run` calls).
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro import obs
+from repro import faults, obs
 from repro.core import Design, simulate_frame
 from repro.core.angle import DEFAULT_THRESHOLD, AngleThreshold
 from repro.core.frontend import DesignRun
 from repro.energy import EnergyBreakdown, EnergyModel
 from repro.experiments.cache import DiskCache
+from repro.faults import (
+    FanoutReport,
+    FanoutTask,
+    FaultContext,
+    RetryPolicy,
+    RunOutcome,
+    TaskReport,
+    run_fanout,
+)
 from repro.render.scene import Scene
 from repro.texture.requests import FragmentTrace
 from repro.units import Radians
@@ -93,19 +114,27 @@ def _trace_pair(
     hit, pair = cache.load(trace_key)
     if not hit:
         pair = workload.trace()
-        cache.store(trace_key, pair)
+        cache.store_safe(trace_key, pair)
     return pair
 
 
-def _worker_trace(workload_name: str, cache_root: str) -> str:
+def _worker_trace(
+    workload_name: str, cache_root: str,
+    ctx: Optional[FaultContext] = None,
+) -> str:
     """Pool worker: ensure one workload's trace exists in the disk cache."""
+    faults.enter_worker(ctx)
     cache = DiskCache(root=Path(cache_root))
     _trace_pair(cache, workload_by_name(workload_name))
     return workload_name
 
 
-def _worker_run(key: RunKey, cache_root: str) -> DesignRun:
+def _worker_run(
+    key: RunKey, cache_root: str,
+    ctx: Optional[FaultContext] = None,
+) -> DesignRun:
     """Pool worker: simulate one grid point, reading/writing the cache."""
+    faults.enter_worker(ctx)
     cache = DiskCache(root=Path(cache_root))
     run_key = cache.key("run", **_run_payload(key))
     hit, run = cache.load(run_key)
@@ -121,33 +150,42 @@ def _worker_run(key: RunKey, cache_root: str) -> DesignRun:
         consolidation_enabled=key.consolidation_enabled,
     )
     run = simulate_frame(scene, trace, config)
-    cache.store(run_key, run)
+    cache.store_safe(run_key, run)
     return run
 
 
 def _worker_trace_traced(
-    workload_name: str, cache_root: str
+    workload_name: str, cache_root: str,
+    ctx: Optional[FaultContext] = None,
 ) -> Tuple[str, List[Dict[str, Any]]]:
     """Traced pool worker: trace generation plus this worker's span forest.
 
     Forked workers inherit the parent's half-built tracer state, so the
-    tracer is reset before any spans are recorded here.
+    tracer is reset before any spans are recorded here -- except on the
+    degraded in-process fallback (fault injection suppressed), where the
+    parent's live tracer already covers the work and resetting it would
+    destroy the run's span forest.
     """
+    if faults.suppressed():
+        return _worker_trace(workload_name, cache_root, ctx), []
     obs.reset_tracer()
     with obs.span("worker.trace", workload=workload_name):
-        result = _worker_trace(workload_name, cache_root)
+        result = _worker_trace(workload_name, cache_root, ctx)
     return result, obs.get_tracer().as_dicts()
 
 
 def _worker_run_traced(
-    key: RunKey, cache_root: str
+    key: RunKey, cache_root: str,
+    ctx: Optional[FaultContext] = None,
 ) -> Tuple[DesignRun, List[Dict[str, Any]]]:
     """Traced pool worker: one grid point plus this worker's span forest."""
+    if faults.suppressed():
+        return _worker_run(key, cache_root, ctx), []
     obs.reset_tracer()
     with obs.span(
         "worker.run", workload=key.workload, design=key.design.name
     ):
-        result = _worker_run(key, cache_root)
+        result = _worker_run(key, cache_root, ctx)
     return result, obs.get_tracer().as_dicts()
 
 
@@ -168,6 +206,7 @@ class ExperimentRunner:
         workload_names: Optional[Sequence[str]] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         jobs: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if workload_names is None:
             self.workloads: List[GameWorkload] = list(WORKLOADS)
@@ -178,8 +217,10 @@ class ExperimentRunner:
         self._energy: Dict[RunKey, EnergyBreakdown] = {}
         self.energy_model = EnergyModel()
         self.jobs = jobs
+        self.retry_policy = retry_policy or RetryPolicy()
         self.memo_hits = 0
         self.memo_misses = 0
+        self._last_fanout = FanoutReport()
         if cache_dir is None:
             env = os.environ.get("REPRO_CACHE_DIR")
             cache_dir = Path(env) if env else None
@@ -191,6 +232,14 @@ class ExperimentRunner:
     def disk_cache(self) -> Optional[DiskCache]:
         """The persistent cache, or ``None`` when running memo-only."""
         return self._disk
+
+    def fanout_report(self) -> FanoutReport:
+        """Per-key robustness outcomes of the most recent :meth:`run_many`.
+
+        Empty until the first ``run_many`` call; keys already served from
+        the memo are not listed (they were never scheduled).
+        """
+        return self._last_fanout
 
     def trace(self, workload: GameWorkload) -> Tuple[Scene, FragmentTrace]:
         if workload.name in self._traces:
@@ -253,13 +302,60 @@ class ExperimentRunner:
                 current.attributes["source"] = "simulated"
             self._runs[key] = run
             if self._disk is not None and disk_key is not None:
-                self._disk.store(disk_key, run)
+                self._disk.store_safe(disk_key, run)
+            return run
+
+    def _simulate_pending(self, key: RunKey) -> DesignRun:
+        """Serially simulate one grid point ``run_many`` already accounted.
+
+        Identical to the miss path of :meth:`run` except that it touches
+        no memoisation counters: :meth:`run_many` charges exactly one
+        memo miss per scheduled key in both its serial and parallel
+        branches, so the two stay comparable.
+        """
+        with obs.span(
+            "runner.run", workload=key.workload, design=key.design.name
+        ) as current:
+            disk_key = None
+            if self._disk is not None:
+                disk_key = self._disk.key("run", **_run_payload(key))
+                hit, run = self._disk.load(disk_key)
+                if hit:
+                    self._runs[key] = run
+                    if current is not None:
+                        current.attributes["source"] = "disk"
+                    return run
+            workload = workload_by_name(key.workload)
+            pair = self._traces.get(workload.name)
+            if pair is None:
+                with obs.span("runner.trace", workload=workload.name):
+                    if self._disk is not None:
+                        pair = _trace_pair(self._disk, workload)
+                    else:
+                        pair = workload.trace()
+                self._traces[workload.name] = pair
+            scene, trace = pair
+            config = workload.design_config(
+                key.design,
+                angle_threshold=key.angle_threshold,
+                aniso_enabled=key.aniso_enabled,
+                mtu_share=key.mtu_share,
+                consolidation_enabled=key.consolidation_enabled,
+            )
+            run = simulate_frame(scene, trace, config)
+            if current is not None:
+                current.attributes["source"] = "simulated"
+            self._runs[key] = run
+            if self._disk is not None and disk_key is not None:
+                self._disk.store_safe(disk_key, run)
             return run
 
     def run_many(
         self,
         keys: Sequence[RunKey],
         jobs: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        task_timeout: Optional[float] = None,
     ) -> Dict[RunKey, DesignRun]:
         """Simulate a batch of grid points, fanning out across processes.
 
@@ -270,6 +366,15 @@ class ExperimentRunner:
         scoped to this call is used.  With ``jobs=1`` (or a single key)
         everything runs in-process -- results are identical either way
         because the whole pipeline is deterministic.
+
+        The parallel branch is fault tolerant (see
+        :func:`repro.faults.executor.run_fanout`): failed attempts are
+        retried under ``retry_policy`` (default: the runner's), tasks
+        exceeding ``task_timeout`` seconds are requeued after a pool
+        rebuild, and keys that exhaust their retries fall back to serial
+        in-process execution.  The returned mapping contains every key
+        that produced a result -- possibly a strict subset of ``keys``;
+        consult :meth:`fanout_report` for per-key outcomes.
         """
         jobs = jobs if jobs is not None else self.jobs
         if jobs is None:
@@ -282,27 +387,23 @@ class ExperimentRunner:
                 results[key] = self._runs[key]
             elif key not in pending:
                 pending.append(key)
+        report = FanoutReport()
+        self._last_fanout = report
         if not pending:
             return results
+        self.memo_misses += len(pending)
 
         if jobs <= 1 or len(pending) == 1:
-            for key in pending:
-                workload = workload_by_name(key.workload)
-                threshold = AngleThreshold(
-                    label=f"radians-{key.angle_threshold:.6f}",
-                    radians=Radians(key.angle_threshold),
-                )
-                results[key] = self.run(
-                    workload,
-                    key.design,
-                    threshold,
-                    aniso_enabled=key.aniso_enabled,
-                    mtu_share=key.mtu_share,
-                    consolidation_enabled=key.consolidation_enabled,
-                )
+            with obs.span(
+                "runner.run_many", pending=len(pending), jobs=1
+            ):
+                for key in pending:
+                    report.tasks[key] = TaskReport(
+                        token=str(key), outcome=RunOutcome.OK, attempts=1
+                    )
+                    results[key] = self._simulate_pending(key)
             return results
 
-        self.memo_misses += len(pending)
         scratch: Optional[tempfile.TemporaryDirectory] = None
         if self._disk is not None:
             cache_root = str(self._disk.root)
@@ -310,58 +411,70 @@ class ExperimentRunner:
             scratch = tempfile.TemporaryDirectory(prefix="repro-cache-")
             cache_root = scratch.name
         traced = obs.tracing_enabled()
+        policy = retry_policy if retry_policy is not None else self.retry_policy
+        trace_fn = _worker_trace_traced if traced else _worker_trace
+        run_fn = _worker_run_traced if traced else _worker_run
+        workload_names: List[str] = []
+        for key in pending:
+            if key.workload not in workload_names:
+                workload_names.append(key.workload)
         try:
             with obs.span(
                 "runner.run_many", pending=len(pending), jobs=jobs
-            ), ProcessPoolExecutor(max_workers=jobs) as pool:
-                workload_names = []
-                for key in pending:
-                    if key.workload not in workload_names:
-                        workload_names.append(key.workload)
+            ) as many_span:
                 with obs.span(
                     "runner.trace_phase", workloads=len(workload_names)
                 ) as trace_phase:
+                    trace_results, trace_report = run_fanout(
+                        [
+                            FanoutTask(
+                                key=name, fn=trace_fn, args=(name, cache_root)
+                            )
+                            for name in workload_names
+                        ],
+                        jobs=min(jobs, len(workload_names)),
+                        policy=policy,
+                        task_timeout=task_timeout,
+                        phase="faults.trace_fanout",
+                    )
                     if traced:
-                        traced_pairs = list(
-                            pool.map(
-                                _worker_trace_traced,
-                                workload_names,
-                                [cache_root] * len(workload_names),
-                            )
-                        )
                         _graft_worker_spans(
-                            trace_phase, [spans for _, spans in traced_pairs]
+                            trace_phase,
+                            [pair[1] for pair in trace_results.values()],
                         )
-                    else:
-                        list(
-                            pool.map(
-                                _worker_trace,
-                                workload_names,
-                                [cache_root] * len(workload_names),
-                            )
-                        )
+                report.merge(trace_report)
                 with obs.span(
                     "runner.run_phase", runs=len(pending)
                 ) as run_phase:
-                    if traced:
-                        traced_runs = list(
-                            pool.map(
-                                _worker_run_traced,
-                                pending,
-                                [cache_root] * len(pending),
+                    run_results, run_report = run_fanout(
+                        [
+                            FanoutTask(
+                                key=key, fn=run_fn, args=(key, cache_root)
                             )
-                        )
-                        runs = [run for run, _ in traced_runs]
+                            for key in pending
+                        ],
+                        jobs=jobs,
+                        policy=policy,
+                        task_timeout=task_timeout,
+                        phase="faults.run_fanout",
+                    )
+                    if traced:
                         _graft_worker_spans(
-                            run_phase, [spans for _, spans in traced_runs]
+                            run_phase,
+                            [pair[1] for pair in run_results.values()],
                         )
-                    else:
-                        runs = pool.map(
-                            _worker_run, pending, [cache_root] * len(pending)
-                        )
-                    for key, run in zip(pending, runs):
-                        self._runs[key] = run
-                        results[key] = run
+                report.merge(run_report)
+                for key in pending:
+                    if key not in run_results:
+                        continue  # FAILED: absent, labelled in the report
+                    value = run_results[key]
+                    run = value[0] if traced else value
+                    self._runs[key] = run
+                    results[key] = run
+                if many_span is not None:
+                    summary = report.as_dict()
+                    del summary["tasks"]
+                    many_span.attributes["fanout"] = summary
         finally:
             if scratch is not None:
                 scratch.cleanup()
@@ -400,7 +513,7 @@ class ExperimentRunner:
         breakdown = self.energy_model.frame_energy(design, run.frame)
         self._energy[key] = breakdown
         if self._disk is not None and disk_key is not None:
-            self._disk.store(disk_key, breakdown)
+            self._disk.store_safe(disk_key, breakdown)
         return breakdown
 
     def cache_stats(self) -> RunnerCacheStats:

@@ -1,0 +1,280 @@
+"""Fault-tolerant process-pool fan-out: submit, retry, rebuild, degrade.
+
+:func:`run_fanout` replaces bare ``ProcessPoolExecutor.map`` for batch
+work whose individual points may fail.  Per-task ``submit`` scheduling
+keeps at most ``jobs`` attempts in flight and survives the three
+failure shapes large batch sweeps actually hit:
+
+* a task attempt **raises** -- requeued with exponential backoff and
+  deterministic jitter until its :class:`RetryPolicy` budget runs out;
+* a worker process **dies** (``BrokenProcessPool``) -- the pool is
+  rebuilt and every in-flight key requeued (the dead worker cannot be
+  identified, so all in-flight attempts are charged a retry);
+* a task **hangs** past ``task_timeout`` -- running attempts cannot be
+  cancelled, so the pool's workers are terminated, the pool rebuilt,
+  the overdue keys charged a timeout and everything in flight requeued
+  (bystanders keep their attempt index, replaying identical fault
+  decisions).
+
+Tasks that exhaust their retry budget degrade to serial in-process
+execution under :func:`repro.faults.injector.suppress` -- the
+last-resort clean path.  The fan-out always returns whatever completed:
+a key absent from the result mapping is recorded as ``FAILED`` in the
+accompanying :class:`FanoutReport`, never silently dropped.
+
+Because batch workers normally communicate through a content-addressed
+disk cache, requeued bystander work is usually served straight from the
+cache rather than recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.faults.injector import FaultContext, suppress
+from repro.faults.outcomes import FanoutReport, RunOutcome, TaskReport
+from repro.faults.retry import RetryPolicy
+
+_BYSTANDER_ERROR = "requeued: pool broke under a concurrent task"
+
+
+@dataclass(frozen=True)
+class FanoutTask:
+    """One schedulable unit: a picklable function plus its arguments.
+
+    ``fn`` must be a module-level callable accepting ``*args`` followed
+    by one trailing :class:`FaultContext` (or ``None``) positional
+    argument, through which workers learn their attempt identity.
+    """
+
+    key: Any
+    """Hashable identity; results and reports are keyed by it."""
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = field(default_factory=tuple)
+
+
+@dataclass
+class _InFlight:
+    task: FanoutTask
+    attempt: int
+    started: float
+
+
+def run_fanout(
+    tasks: Sequence[FanoutTask],
+    jobs: int,
+    policy: Optional[RetryPolicy] = None,
+    task_timeout: Optional[float] = None,
+    degrade: bool = True,
+    phase: str = "faults.fanout",
+) -> Tuple[Dict[Any, Any], FanoutReport]:
+    """Run ``tasks`` over a worker pool, tolerating per-task failure.
+
+    Returns ``(results, report)``: ``results`` maps each succeeding
+    task's key to its return value (partial on failures), ``report``
+    carries the per-key :class:`~repro.faults.outcomes.RunOutcome` and
+    pool-level counters.  Scheduling is deterministic for a fixed fault
+    plan and policy; only completion *order* varies with machine load.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    report = FanoutReport()
+    results: Dict[Any, Any] = {}
+    if not tasks:
+        return results, report
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    index_of: Dict[Any, int] = {}
+    for index, task in enumerate(tasks):
+        if task.key in report.tasks:
+            raise ValueError(f"duplicate fan-out key {task.key!r}")
+        report.tasks[task.key] = TaskReport(token=str(task.key))
+        index_of[task.key] = index
+
+    ready: Deque[Tuple[FanoutTask, int]] = deque(
+        (task, 0) for task in tasks
+    )
+    degraded_queue: List[FanoutTask] = []
+    in_flight: Dict[Future, _InFlight] = {}
+    pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def handle_failure(task: FanoutTask, attempt: int, error: BaseException,
+                       timed_out: bool = False) -> None:
+        """Requeue with backoff, degrade, or mark failed."""
+        state = report.tasks[task.key]
+        state.error = repr(error)
+        if timed_out:
+            state.timeouts += 1
+        if attempt + 1 < policy.max_attempts:
+            state.retries += 1
+            delay = policy.delay(attempt, state.token)
+            obs.event(
+                "faults.retry",
+                token=state.token,
+                attempt=attempt,
+                delay=delay,
+                error=state.error,
+            )
+            if delay > 0:
+                time.sleep(delay)
+            ready.append((task, attempt + 1))
+        elif degrade:
+            obs.event("faults.degrade", token=state.token, error=state.error)
+            degraded_queue.append(task)
+        else:
+            state.outcome = RunOutcome.FAILED
+
+    def rebuild_pool(reason: str) -> None:
+        nonlocal pool
+        report.pool_rebuilds += 1
+        obs.event("faults.pool_rebuild", reason=reason)
+        # Terminate stragglers first: shutdown() alone would block on a
+        # worker stuck in a hung task.  ``_processes`` is stdlib-private
+        # but stable across 3.8+; absent (None) after a broken shutdown.
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            if process.is_alive():
+                process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def drain_in_flight_as_broken(error: BaseException) -> None:
+        """Every in-flight attempt died with the pool; requeue them."""
+        doomed = list(in_flight.values())
+        in_flight.clear()
+        for entry in doomed:
+            handle_failure(entry.task, entry.attempt, error)
+
+    try:
+        with obs.span(phase, tasks=len(tasks), jobs=jobs) as phase_span:
+            while ready or in_flight:
+                # Top up: at most ``jobs`` attempts in flight, so a pool
+                # breakage penalizes a bounded number of bystanders.
+                broken_on_submit: Optional[BaseException] = None
+                while ready and len(in_flight) < jobs:
+                    task, attempt = ready.popleft()
+                    state = report.tasks[task.key]
+                    ctx = FaultContext(
+                        index=index_of[task.key],
+                        attempt=attempt,
+                        token=state.token,
+                    )
+                    try:
+                        future = pool.submit(task.fn, *task.args, ctx)
+                    except BrokenProcessPool as error:
+                        ready.appendleft((task, attempt))
+                        broken_on_submit = error
+                        break
+                    state.attempts += 1
+                    in_flight[future] = _InFlight(task, attempt, time.monotonic())
+                if broken_on_submit is not None:
+                    drain_in_flight_as_broken(broken_on_submit)
+                    rebuild_pool("submit-on-broken-pool")
+                    continue
+                if not in_flight:
+                    continue  # everything just requeued or degraded
+
+                timeout = None
+                if task_timeout is not None:
+                    now = time.monotonic()
+                    timeout = max(
+                        0.0,
+                        min(
+                            entry.started + task_timeout
+                            for entry in in_flight.values()
+                        )
+                        - now,
+                    )
+                done, _pending = wait(
+                    set(in_flight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                pool_broke = False
+                for future in done:
+                    entry = in_flight.pop(future)
+                    state = report.tasks[entry.task.key]
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool as error:
+                        handle_failure(entry.task, entry.attempt, error)
+                        pool_broke = True
+                    except Exception as error:
+                        handle_failure(entry.task, entry.attempt, error)
+                    else:
+                        results[entry.task.key] = value
+                        state.outcome = (
+                            RunOutcome.OK
+                            if state.retries == 0
+                            else RunOutcome.RETRIED
+                        )
+                if pool_broke:
+                    drain_in_flight_as_broken(
+                        BrokenProcessPool("pool broke under concurrent tasks")
+                    )
+                    rebuild_pool("broken-process-pool")
+                    continue
+
+                if task_timeout is not None and in_flight:
+                    now = time.monotonic()
+                    overdue = {
+                        future
+                        for future, entry in in_flight.items()
+                        if now - entry.started > task_timeout
+                    }
+                    if overdue:
+                        # A running attempt cannot be cancelled; the only
+                        # way to reclaim the worker is to kill the pool.
+                        stranded = list(in_flight.items())
+                        in_flight.clear()
+                        for future, entry in stranded:
+                            if future in overdue:
+                                handle_failure(
+                                    entry.task,
+                                    entry.attempt,
+                                    TimeoutError(
+                                        f"task {entry.task.key!r} exceeded "
+                                        f"{task_timeout:g}s"
+                                    ),
+                                    timed_out=True,
+                                )
+                            else:
+                                # Innocent bystander: same attempt index,
+                                # so its fault decisions replay unchanged.
+                                report.tasks[entry.task.key].retries += 1
+                                report.tasks[entry.task.key].error = (
+                                    _BYSTANDER_ERROR
+                                )
+                                ready.append((entry.task, entry.attempt))
+                        rebuild_pool("task-timeout")
+
+            # Last resort: serial, in-process, injection suppressed.
+            for task in degraded_queue:
+                state = report.tasks[task.key]
+                state.degraded = True
+                try:
+                    with suppress(), obs.span(
+                        "faults.degraded_run", token=state.token
+                    ):
+                        value = task.fn(*task.args, None)
+                except Exception as error:
+                    state.error = repr(error)
+                    state.outcome = RunOutcome.FAILED
+                else:
+                    results[task.key] = value
+                    state.outcome = RunOutcome.DEGRADED
+
+            if phase_span is not None:
+                phase_span.attributes["fanout"] = {
+                    "outcomes": report.outcome_counts(),
+                    "pool_rebuilds": report.pool_rebuilds,
+                    "total_retries": report.total_retries,
+                }
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results, report

@@ -1,0 +1,188 @@
+"""Process-wide fault injection driven by a :class:`FaultPlan`.
+
+One optional :class:`FaultInjector` is active per process, resolved
+lazily from the ``REPRO_FAULTS`` environment variable (so pool workers
+-- forked or spawned -- activate the same plan as their parent) or
+installed explicitly with :func:`activate`.
+
+Injection sites:
+
+* :func:`enter_worker` -- called at the top of every pool-worker task
+  with its :class:`FaultContext`; may kill the worker process
+  (``os._exit``), sleep (slow-task), or raise :class:`InjectedFault`.
+  Task faults fire only for attempts carrying a scheduler-provided
+  :class:`FaultContext`, and the serial in-process fallback runs under
+  :func:`suppress`, so a plan never kills or fails the parent process.
+* ``DiskCache.store`` consults :meth:`FaultInjector.store_should_fail`
+  (raise ``OSError``) and :meth:`FaultInjector.corrupt_payload`
+  (truncate the entry so its CRC check fails on load).
+
+Every decision is deterministic in (seed, site, token) -- see
+:func:`repro.faults.plan.stable_fraction` -- so a fault schedule
+replays identically across processes and reruns.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.faults.plan import FaultPlan, stable_fraction
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected task failure (retryable by design)."""
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """Identity of one task attempt, passed from scheduler to worker."""
+
+    index: int
+    """Position of the task in its fan-out's submission order."""
+    attempt: int
+    """0-based attempt number (increments on every requeue)."""
+    token: str
+    """Stable textual identity of the task (``str(key)``)."""
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at each injection site."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def _fire(self, site: str, token: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return stable_fraction(self.plan.seed, site, token) < rate
+
+    # -- worker-side task faults ---------------------------------------
+
+    def on_task_start(self, ctx: FaultContext) -> None:
+        """Run the task-level faults for one attempt (crash/slow/fail)."""
+        plan = self.plan
+        attempt_token = f"{ctx.token}@{ctx.attempt}"
+        crash = (
+            plan.crash_on is not None
+            and ctx.index == plan.crash_on
+            and ctx.attempt == 0
+        ) or self._fire("crash", attempt_token, plan.crash_rate)
+        if crash:
+            # Abrupt worker death: no cleanup, no exception -- the
+            # parent sees BrokenProcessPool, exactly like an OOM kill.
+            os._exit(86)
+        if self._fire("slow", attempt_token, plan.slow_rate):
+            import time
+
+            time.sleep(plan.slow_seconds)
+        if self._fire("fail", attempt_token, plan.fail_rate):
+            raise InjectedFault(
+                f"injected task failure for {ctx.token!r} "
+                f"(attempt {ctx.attempt})"
+            )
+
+    # -- cache-side faults ---------------------------------------------
+
+    def store_should_fail(self, key: str) -> bool:
+        """Whether ``DiskCache.store`` should raise for this key."""
+        return self._fire("store", key, self.plan.store_error_rate)
+
+    def corrupt_payload(self, key: str, payload: bytes) -> Optional[bytes]:
+        """A corrupted replacement payload, or ``None`` to store intact.
+
+        Truncates to half length: the CRC32 framing then rejects the
+        entry on load, which must count as a miss and recompute.
+        """
+        if not self._fire("corrupt", key, self.plan.corrupt_rate):
+            return None
+        return payload[: max(1, len(payload) // 2)]
+
+
+_UNRESOLVED = object()
+_active: object = _UNRESOLVED
+_suppress_depth: int = 0
+_in_worker: bool = False
+
+
+def activate(plan: FaultPlan) -> FaultInjector:
+    """Install ``plan`` as this process's active fault injector."""
+    global _active
+    injector = FaultInjector(plan)
+    _active = injector
+    return injector
+
+
+def deactivate() -> None:
+    """Remove any active injector (and forget the env resolution)."""
+    global _active
+    _active = None
+
+
+def reset() -> None:
+    """Forget explicit activation; re-resolve from the environment."""
+    global _active, _in_worker
+    _active = _UNRESOLVED
+    _in_worker = False
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The process's injector, or ``None`` (inactive or suppressed).
+
+    Resolved from ``REPRO_FAULTS`` on first use so pool workers pick up
+    the plan exported by their parent without any explicit plumbing.
+    """
+    global _active
+    if _suppress_depth > 0:
+        return None
+    if _active is _UNRESOLVED:
+        plan = FaultPlan.from_env()
+        _active = FaultInjector(plan) if plan is not None and plan.is_active else None
+    return _active  # type: ignore[return-value]
+
+
+@contextlib.contextmanager
+def suppress() -> Iterator[None]:
+    """Disable fault injection within the block (re-entrant).
+
+    The degraded serial fallback runs under this: it is the last-resort
+    clean path, so injected faults must not chase a task there.
+    """
+    global _suppress_depth
+    _suppress_depth += 1
+    try:
+        yield
+    finally:
+        _suppress_depth -= 1
+
+
+def suppressed() -> bool:
+    """Whether fault injection is currently suppressed (see :func:`suppress`)."""
+    return _suppress_depth > 0
+
+
+def in_worker() -> bool:
+    """Whether this process has entered a pool-worker task."""
+    return _in_worker
+
+
+def enter_worker(ctx: Optional[FaultContext]) -> None:
+    """Mark this process as a pool worker and fire task-start faults.
+
+    Called at the top of every pool-worker function with the scheduler's
+    :class:`FaultContext` (``None`` when invoked outside a fan-out, e.g.
+    by tests calling the worker helpers directly).  A no-op while
+    suppressed, so the in-process degraded fallback -- which reuses the
+    same worker functions -- never injects.
+    """
+    global _in_worker
+    if _suppress_depth > 0:
+        return
+    _in_worker = True
+    if ctx is None:
+        return
+    injector = active_injector()
+    if injector is not None:
+        injector.on_task_start(ctx)

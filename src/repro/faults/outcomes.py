@@ -1,0 +1,138 @@
+"""Per-task outcomes and the aggregate report of one fault-tolerant fan-out.
+
+Every key scheduled through :func:`repro.faults.executor.run_fanout`
+finishes with exactly one :class:`RunOutcome`:
+
+``OK``
+    succeeded on its first pool attempt;
+``RETRIED``
+    succeeded after one or more retries (task exception, pool breakage
+    or timeout);
+``DEGRADED``
+    exhausted its pool retry budget and succeeded on the serial
+    in-process fallback;
+``FAILED``
+    failed everywhere, including the serial fallback -- its result is
+    absent from the (still returned, partial) result mapping.
+
+The :class:`FanoutReport` aggregates these per-key records plus
+pool-level counters; it is surfaced on the runner, attached to
+``runner.run_many`` spans, and embedded in run manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+
+class RunOutcome(Enum):
+    """Terminal state of one fan-out task."""
+
+    OK = "ok"
+    RETRIED = "retried"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+    @property
+    def succeeded(self) -> bool:
+        return self is not RunOutcome.FAILED
+
+
+@dataclass
+class TaskReport:
+    """The lifecycle record of one key through the fan-out."""
+
+    token: str
+    """Stable textual identity of the task (``str(key)``)."""
+    outcome: RunOutcome = RunOutcome.OK
+    attempts: int = 0
+    """Pool attempts started (the serial fallback is not an attempt)."""
+    retries: int = 0
+    """Requeues after a failure, pool breakage or timeout."""
+    timeouts: int = 0
+    """How many attempts were abandoned for exceeding the task timeout."""
+    degraded: bool = False
+    """Whether the serial in-process fallback ran for this key."""
+    error: Optional[str] = None
+    """``repr`` of the most recent failure, if any."""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "token": self.token,
+            "outcome": self.outcome.value,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FanoutReport:
+    """Aggregate robustness record of one (or several merged) fan-outs."""
+
+    tasks: Dict[Any, TaskReport] = field(default_factory=dict)
+    pool_rebuilds: int = 0
+    """Times the process pool was rebuilt (crash or timeout recovery)."""
+
+    def outcome(self, key: Any) -> Optional[RunOutcome]:
+        """The outcome recorded for ``key``, or ``None`` if unscheduled."""
+        report = self.tasks.get(key)
+        return report.outcome if report is not None else None
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """``{outcome value: task count}`` over every recorded task."""
+        counts = {outcome.value: 0 for outcome in RunOutcome}
+        for report in self.tasks.values():
+            counts[report.outcome.value] += 1
+        return counts
+
+    @property
+    def total_retries(self) -> int:
+        return sum(report.retries for report in self.tasks.values())
+
+    @property
+    def degraded_keys(self) -> List[Any]:
+        return [key for key, report in self.tasks.items() if report.degraded]
+
+    @property
+    def failed_keys(self) -> List[Any]:
+        return [
+            key
+            for key, report in self.tasks.items()
+            if report.outcome is RunOutcome.FAILED
+        ]
+
+    @property
+    def all_ok(self) -> bool:
+        """Whether every task succeeded first try with no pool rebuilds."""
+        return self.pool_rebuilds == 0 and all(
+            report.outcome is RunOutcome.OK for report in self.tasks.values()
+        )
+
+    def merge(self, other: "FanoutReport") -> "FanoutReport":
+        """Fold another fan-out's records into this report (in place).
+
+        Phases of one logical batch (trace fan-out, then run fan-out)
+        merge into a single report; keys are expected to be disjoint.
+        """
+        self.tasks.update(other.tasks)
+        self.pool_rebuilds += other.pool_rebuilds
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for span attributes and run manifests."""
+        return {
+            "outcomes": self.outcome_counts(),
+            "pool_rebuilds": self.pool_rebuilds,
+            "total_retries": self.total_retries,
+            "tasks": [
+                report.as_dict()
+                for _key, report in sorted(
+                    self.tasks.items(), key=lambda item: item[1].token
+                )
+            ],
+        }

@@ -1,0 +1,183 @@
+"""Deterministic, seedable fault plans for chaos testing the runner.
+
+A :class:`FaultPlan` describes *which* faults to inject -- worker
+crashes, task failures, cache-store errors, corrupted cache entries,
+slow tasks -- and *how often*.  Every decision is a pure function of the
+plan's seed and a per-site token (see :func:`stable_fraction`), never of
+RNG state or call order, so a plan reproduces the exact same fault
+schedule across processes, pool rebuilds and reruns.  That determinism
+is what lets the chaos tests assert bit-identical results: faults only
+perturb scheduling and caching, never the computed values.
+
+Plans are written as compact ``key=value`` specs, e.g.::
+
+    REPRO_FAULTS="seed=7,crash=0.2,corrupt=0.2,store=0.1"
+    python -m repro --faults "seed=7,crash=0.2" fig 10 --jobs 4
+
+and are activated process-wide through :mod:`repro.faults.injector`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional
+
+ENV_FLAG = "REPRO_FAULTS"
+"""Environment variable holding the active fault-plan spec (workers of a
+``ProcessPoolExecutor`` inherit it, so injection follows the fan-out)."""
+
+
+def stable_fraction(seed: int, site: str, token: str) -> float:
+    """A deterministic pseudo-uniform fraction in ``[0, 1)``.
+
+    Hashes ``(seed, site, token)`` with SHA-256; independent of call
+    order and process, unlike stateful RNG draws, so fault decisions and
+    backoff jitter replay identically everywhere.
+    """
+    digest = hashlib.sha256(f"{seed}:{site}:{token}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+_RATE_FIELDS = ("crash_rate", "fail_rate", "store_error_rate", "corrupt_rate",
+                "slow_rate")
+
+_SPEC_ALIASES: Dict[str, str] = {
+    "seed": "seed",
+    "crash": "crash_rate",
+    "crash_rate": "crash_rate",
+    "crash_on": "crash_on",
+    "fail": "fail_rate",
+    "fail_rate": "fail_rate",
+    "store": "store_error_rate",
+    "store_error_rate": "store_error_rate",
+    "corrupt": "corrupt_rate",
+    "corrupt_rate": "corrupt_rate",
+    "slow": "slow_rate",
+    "slow_rate": "slow_rate",
+    "slow_seconds": "slow_seconds",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, how often, and under which seed."""
+
+    seed: int = 0
+    """Namespace for every deterministic decision this plan makes."""
+
+    crash_rate: float = 0.0
+    """Probability that a pool worker dies abruptly (``os._exit``) at the
+    start of a task attempt; exercises ``BrokenProcessPool`` recovery."""
+
+    crash_on: Optional[int] = None
+    """Crash the worker handling the task with this fan-out index (first
+    attempt only), regardless of ``crash_rate`` -- the reproducible
+    "worker crashes on the Nth task" scenario."""
+
+    fail_rate: float = 0.0
+    """Probability that a task attempt raises :class:`InjectedFault`
+    inside the worker; exercises the retry/backoff path."""
+
+    store_error_rate: float = 0.0
+    """Probability that ``DiskCache.store`` raises ``OSError`` for a
+    given key; exercises the compute-survives-store-failure contract."""
+
+    corrupt_rate: float = 0.0
+    """Probability that a stored cache entry is written truncated, so a
+    later load fails its CRC check; exercises corrupt-counts-as-miss."""
+
+    slow_rate: float = 0.0
+    """Probability that a task attempt sleeps ``slow_seconds`` before
+    computing; exercises the slow-task timeout path."""
+
+    slow_seconds: float = 0.5
+    """How long an injected slow task sleeps."""
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+        if self.slow_seconds < 0:
+            raise ValueError("slow_seconds must be non-negative")
+        if self.crash_on is not None and self.crash_on < 0:
+            raise ValueError("crash_on must be a non-negative task index")
+
+    @property
+    def is_active(self) -> bool:
+        """Whether any fault can ever fire under this plan."""
+        return (
+            any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+            or self.crash_on is not None
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``key=value,key=value`` spec (see :data:`ENV_FLAG`).
+
+        Accepted keys: ``seed``, ``crash``/``crash_rate``, ``crash_on``,
+        ``fail``/``fail_rate``, ``store``/``store_error_rate``,
+        ``corrupt``/``corrupt_rate``, ``slow``/``slow_rate``,
+        ``slow_seconds``.  An empty spec is a no-fault plan.
+        """
+        values: Dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"fault spec entry {part!r} is not key=value"
+                )
+            raw_key, _, raw_value = part.partition("=")
+            key = _SPEC_ALIASES.get(raw_key.strip().lower())
+            if key is None:
+                raise ValueError(
+                    f"unknown fault spec key {raw_key.strip()!r}; known: "
+                    + ", ".join(sorted(set(_SPEC_ALIASES)))
+                )
+            try:
+                if key in ("seed", "crash_on"):
+                    values[key] = int(raw_value.strip())
+                else:
+                    values[key] = float(raw_value.strip())
+            except ValueError as error:
+                raise ValueError(
+                    f"bad value for fault spec key {raw_key.strip()!r}: "
+                    f"{raw_value.strip()!r}"
+                ) from error
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None
+                 ) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULTS``, or ``None`` when unset."""
+        env = os.environ if environ is None else environ
+        spec = env.get(ENV_FLAG, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form recorded in run manifests."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def describe(self) -> str:
+        """Compact spec string (inverse of :meth:`parse` for set fields)."""
+        parts = [f"seed={self.seed}"]
+        if self.crash_rate:
+            parts.append(f"crash={self.crash_rate:g}")
+        if self.crash_on is not None:
+            parts.append(f"crash_on={self.crash_on}")
+        if self.fail_rate:
+            parts.append(f"fail={self.fail_rate:g}")
+        if self.store_error_rate:
+            parts.append(f"store={self.store_error_rate:g}")
+        if self.corrupt_rate:
+            parts.append(f"corrupt={self.corrupt_rate:g}")
+        if self.slow_rate:
+            parts.append(f"slow={self.slow_rate:g}")
+            parts.append(f"slow_seconds={self.slow_seconds:g}")
+        return ",".join(parts)

@@ -1,0 +1,62 @@
+"""Retry budgets and exponential backoff with deterministic jitter.
+
+The delay before attempt *n*'s requeue grows geometrically from
+``base_delay`` and is spread by ``jitter`` so retries from concurrent
+failures don't stampede the pool in lockstep.  Jitter is derived from
+:func:`repro.faults.plan.stable_fraction` over (seed, task token,
+attempt), not from RNG state, so a run's backoff schedule -- like its
+fault schedule -- replays identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import stable_fraction
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, a failed task is retried."""
+
+    max_attempts: int = 3
+    """Total pool attempts per task before degrading to serial."""
+    base_delay: float = 0.05
+    """Backoff before the first retry, in seconds."""
+    multiplier: float = 2.0
+    """Geometric growth factor per retry."""
+    max_delay: float = 2.0
+    """Backoff ceiling, in seconds."""
+    jitter: float = 0.5
+    """Fractional spread: a delay ``d`` lands in ``[d*(1-j), d*(1+j)]``."""
+    seed: int = 0
+    """Namespace for the deterministic jitter draws."""
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Seconds to back off before requeueing attempt ``attempt + 1``.
+
+        ``attempt`` is the 0-based attempt that just failed; the raw
+        exponential delay is jittered deterministically per (token,
+        attempt).
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        raw = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if raw <= 0.0 or self.jitter == 0.0:
+            return raw
+        fraction = stable_fraction(self.seed, f"retry:{token}", str(attempt))
+        return raw * (1.0 + self.jitter * (2.0 * fraction - 1.0))
+
+
+FAST_RETRIES = RetryPolicy(base_delay=0.0, max_delay=0.0)
+"""Zero-backoff policy for tests: same budgets, no sleeping."""

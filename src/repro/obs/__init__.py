@@ -34,6 +34,7 @@ from repro.obs.tracer import (
     Tracer,
     annotate,
     attach_stats,
+    event,
     get_tracer,
     reset_tracer,
     set_tracing,
@@ -50,6 +51,7 @@ __all__ = [
     "Tracer",
     "annotate",
     "attach_stats",
+    "event",
     "build_manifest",
     "chrome_trace",
     "config_digest",

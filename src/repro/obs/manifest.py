@@ -48,6 +48,9 @@ class RunManifest:
     cache: Dict[str, float] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     stats: Dict[str, Optional[float]] = field(default_factory=dict)
+    faults: Dict[str, Any] = field(default_factory=dict)
+    """Robustness record: the active fault plan (if any) and the last
+    fan-out's per-key outcomes.  Empty when the run never fanned out."""
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -61,6 +64,7 @@ class RunManifest:
             "cache": self.cache,
             "spans": self.spans,
             "stats": self.stats,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -82,6 +86,7 @@ class RunManifest:
             cache=dict(payload.get("cache", {})),
             spans=list(payload.get("spans", [])),
             stats=dict(payload.get("stats", {})),
+            faults=dict(payload.get("faults", {})),
         )
 
     def chrome_trace(self) -> Dict[str, Any]:
@@ -125,9 +130,20 @@ def build_manifest(
     tracer = tracer if tracer is not None else get_tracer()
     cache: Dict[str, float] = {}
     stats: Dict[str, Optional[float]] = {}
+    faults: Dict[str, Any] = {}
+    from repro.faults.injector import active_injector
+
+    injector = active_injector()
+    if injector is not None:
+        faults["plan"] = injector.plan.as_dict()
     if runner is not None:
         from repro.obs.snapshot import runner_stat_group
 
+        report = getattr(runner, "fanout_report", None)
+        if callable(report):
+            fanout = report()
+            if fanout.tasks:
+                faults["fanout"] = fanout.as_dict()
         counters = runner.cache_stats()
         cache = {
             "memo_hits": float(counters.memo_hits),
@@ -151,6 +167,7 @@ def build_manifest(
         cache=cache,
         spans=tracer.as_dicts(),
         stats=stats,
+        faults=faults,
     )
 
 

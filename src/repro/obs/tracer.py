@@ -172,6 +172,31 @@ class Tracer:
             if self._stack.pop() is span:
                 break
 
+    def event(self, name: str, **attributes: Any) -> Optional[Span]:
+        """Record an instantaneous (zero-duration) span.
+
+        Point-in-time markers -- a retry scheduled, a pool rebuilt, a
+        task degraded -- share the span tree's structure (they nest
+        under the current span) without needing enter/exit pairing.
+        """
+        if not _enabled:
+            return None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_wall=time.time(),
+            start=time.monotonic(),
+            duration=0.0,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
     def current(self) -> Optional[Span]:
         """The innermost open span, or ``None``."""
         return self._stack[-1] if self._stack else None
@@ -239,6 +264,13 @@ def annotate(**attributes: Any) -> None:
     """Attach attributes to the current span, if tracing and in a span."""
     if _enabled:
         _TRACER.annotate(**attributes)
+
+
+def event(name: str, **attributes: Any) -> Optional[Span]:
+    """Record an instantaneous marker span (no-op when disabled)."""
+    if not _enabled:
+        return None
+    return _TRACER.event(name, **attributes)
 
 
 def attach_stats(stats: Any, prefix: str = "") -> None:

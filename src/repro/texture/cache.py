@@ -19,7 +19,7 @@ from enum import Enum
 from typing import Dict, Optional
 
 from repro.texture.lod import quantize_angle
-from repro.units import Bits, Bytes, Radians
+from repro.units import BITS_PER_BYTE, Bits, Bytes, Radians
 
 
 class CacheAccessResult(Enum):
@@ -61,8 +61,14 @@ class CacheConfig:
 
     @property
     def angle_storage_bytes(self) -> Bytes:
-        """Extra storage for per-line camera angles (section VII-E)."""
-        return self.num_lines * self.angle_bits / 8.0
+        """Extra storage for per-line camera angles (section VII-E).
+
+        Rounded up to whole bytes: storage is allocated in bytes, and a
+        fractional byte count would leak into downstream overhead sums.
+        """
+        return Bytes(
+            math.ceil(self.num_lines * self.angle_bits / BITS_PER_BYTE)
+        )
 
 
 L1_TEXTURE_CACHE = CacheConfig(size_bytes=16 * 1024)

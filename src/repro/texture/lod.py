@@ -138,8 +138,11 @@ def camera_angle_from_normal(nx: float, ny: float, nz: float,
 def quantize_angle(angle: Radians, bits: Bits = 7) -> float:
     """Quantise an angle in [0, pi/2] to ``bits`` bits, as the cache does.
 
-    Section VII-E: 7 bits per cache line record the camera angle with ~1
-    degree accuracy (180/2^7).
+    Section VII-E: 7 bits per cache line record the camera angle.  The
+    stored range is [0, pi/2] (:func:`camera_angle` folds grazing
+    directions into it), divided into ``2**bits - 1`` steps of
+    90/(2**7 - 1) ~= 0.71 degrees, so the rounding error is at most half
+    a step (~0.35 degrees) -- within the paper's ~1-degree budget.
     """
     if bits <= 0:
         raise ValueError("bit count must be positive")

@@ -305,3 +305,49 @@ class TestFindingFormat:
         )
         findings = findings_for(source)
         assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestBarePoolMap:
+    FAULTS_PATH = "src/repro/faults/executor.py"
+
+    def test_pool_map_flagged(self):
+        source = """
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor() as pool:
+            results = list(pool.map(work, items))
+        """
+        assert "REP109" in ids_for(source)
+
+    def test_pool_submit_flagged(self):
+        assert "REP109" in ids_for("future = pool.submit(work, item)\n")
+
+    def test_executor_receiver_flagged(self):
+        assert "REP109" in ids_for("executor.map(work, items)\n")
+
+    def test_direct_constructor_call_flagged(self):
+        source = "ProcessPoolExecutor(max_workers=2).submit(work, item)\n"
+        assert "REP109" in ids_for(source)
+
+    def test_flagged_in_tests_too(self):
+        assert "REP109" in ids_for("pool.map(work, items)\n", TEST_PATH)
+
+    def test_faults_package_exempt(self):
+        source = "future = pool.submit(work, item)\n"
+        assert "REP109" not in ids_for(source, self.FAULTS_PATH)
+
+    def test_run_fanout_not_flagged(self):
+        source = "results, report = run_fanout(tasks, jobs=4)\n"
+        assert "REP109" not in ids_for(source)
+
+    def test_unrelated_map_not_flagged(self):
+        assert "REP109" not in ids_for("out = mapping.map(fn, xs)\n")
+        assert "REP109" not in ids_for("out = map(fn, xs)\n")
+
+
+class TestFaultsPackageTimingExemptions:
+    FAULTS_PATH = "src/repro/faults/executor.py"
+
+    def test_monotonic_allowed_in_faults(self):
+        source = "import time\nt = time.monotonic()\n"
+        assert "REP108" not in ids_for(source, self.FAULTS_PATH)
+        assert "REP102" not in ids_for(source, self.FAULTS_PATH)

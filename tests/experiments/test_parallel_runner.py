@@ -177,3 +177,79 @@ class TestArtefactsPickle:
         run = runner.run(runner.workloads[0], Design.BASELINE)
         clone = pickle.loads(pickle.dumps(run))
         assert run_signature(clone) == run_signature(run)
+
+
+class TestCacheRobustnessContracts:
+    def test_framed_entry_bitflip_fails_crc_and_counts_as_miss(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        key = cache.key("unit", payload="crc")
+        cache.store(key, {"value": 7})
+        path = cache._path(key)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload bit under the checksum
+        path.write_bytes(bytes(data))
+        hit, value = cache.load(key)
+        assert not hit and value is None
+        assert cache.stats.errors == 1
+        assert cache.stats.misses == 1
+
+    def test_legacy_unframed_entry_still_loads(self, tmp_path):
+        import pickle
+
+        cache = DiskCache(root=tmp_path)
+        key = cache.key("unit", payload="legacy")
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps([4, 5, 6]))  # pre-CRC format
+        assert cache.load(key) == (True, [4, 5, 6])
+
+    def test_store_safe_survives_store_failure(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = DiskCache(root=tmp_path)
+        key = cache.key("unit", payload="fragile")
+
+        def refuse(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os_module, "replace", refuse)
+        with pytest.warns(RuntimeWarning, match="cache store failed"):
+            assert cache.store_safe(key, "value") is False
+        assert cache.stats.errors == 1
+        assert cache.stats.stores == 0
+
+    def test_get_or_compute_returns_value_when_store_fails(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        cache = DiskCache(root=tmp_path)
+        key = cache.key("unit", payload="compute")
+
+        def refuse(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os_module, "replace", refuse)
+        with pytest.warns(RuntimeWarning, match="continuing with the computed"):
+            assert cache.get_or_compute(key, lambda: "computed") == "computed"
+        assert cache.stats.errors == 1
+
+
+class TestMemoCountingParity:
+    def test_serial_and_parallel_memo_misses_agree(self, tmp_path):
+        serial = ExperimentRunner([WORKLOAD], cache_dir=tmp_path / "serial")
+        serial.run_many(KEYS, jobs=1)
+        parallel = ExperimentRunner([WORKLOAD], cache_dir=tmp_path / "parallel")
+        parallel.run_many(KEYS, jobs=2)
+        assert serial.memo_misses == parallel.memo_misses == len(KEYS)
+        assert serial.memo_hits == parallel.memo_hits == 0
+
+    def test_rerun_hits_agree_across_branches(self, tmp_path):
+        serial = ExperimentRunner([WORKLOAD], cache_dir=tmp_path / "serial")
+        serial.run_many(KEYS, jobs=1)
+        serial.run_many(KEYS, jobs=1)
+        parallel = ExperimentRunner([WORKLOAD], cache_dir=tmp_path / "parallel")
+        parallel.run_many(KEYS, jobs=2)
+        parallel.run_many(KEYS, jobs=2)
+        assert serial.memo_hits == parallel.memo_hits == len(KEYS)
+        assert serial.memo_misses == parallel.memo_misses == len(KEYS)

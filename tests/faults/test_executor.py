@@ -1,0 +1,164 @@
+"""run_fanout scheduling: retries, pool rebuilds, timeouts, degradation.
+
+The toy task functions live at module level so pool workers can import
+them; each takes the trailing ``FaultContext`` argument the scheduler
+passes, and uses ``ctx.attempt`` (or ``ctx is None``, which marks the
+degraded in-process fallback) to decide deterministically whether to
+misbehave -- no fault plan needed to exercise the executor itself.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.faults import (
+    FAST_RETRIES,
+    FanoutTask,
+    RetryPolicy,
+    RunOutcome,
+    run_fanout,
+)
+
+
+def _double(value, ctx=None):
+    return value * 2
+
+
+def _flaky(value, fail_below, ctx=None):
+    if ctx is not None and ctx.attempt < fail_below:
+        raise ValueError(f"attempt {ctx.attempt} fails")
+    return value
+
+
+def _always_fail(value, ctx=None):
+    raise ValueError("always fails")
+
+
+def _fail_in_pool(value, ctx=None):
+    if ctx is not None:
+        raise ValueError("fails on every pool attempt")
+    return value * 10
+
+
+def _crash_first(value, ctx=None):
+    if ctx is not None and ctx.attempt == 0:
+        os._exit(86)
+    return value + 1
+
+
+def _hang_first(value, ctx=None):
+    if ctx is not None and ctx.attempt == 0:
+        time.sleep(30.0)
+    return value
+
+
+class TestHappyPath:
+    def test_all_ok(self):
+        tasks = [FanoutTask(key=i, fn=_double, args=(i,)) for i in range(5)]
+        results, report = run_fanout(tasks, jobs=2, policy=FAST_RETRIES)
+        assert results == {i: i * 2 for i in range(5)}
+        assert report.all_ok
+        assert report.outcome_counts()["ok"] == 5
+        for task_report in report.tasks.values():
+            assert task_report.attempts == 1
+            assert task_report.retries == 0
+
+    def test_empty_tasks(self):
+        results, report = run_fanout([], jobs=2)
+        assert results == {}
+        assert report.tasks == {}
+
+    def test_duplicate_keys_rejected(self):
+        tasks = [
+            FanoutTask(key="same", fn=_double, args=(1,)),
+            FanoutTask(key="same", fn=_double, args=(2,)),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_fanout(tasks, jobs=2)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_fanout([FanoutTask(key=1, fn=_double, args=(1,))], jobs=0)
+
+
+class TestRetries:
+    def test_transient_failure_is_retried(self):
+        tasks = [FanoutTask(key="k", fn=_flaky, args=(41, 1))]
+        results, report = run_fanout(tasks, jobs=2, policy=FAST_RETRIES)
+        assert results == {"k": 41}
+        state = report.tasks["k"]
+        assert state.outcome is RunOutcome.RETRIED
+        assert state.retries == 1
+        assert state.attempts == 2
+        assert "fails" in state.error
+
+    def test_mixed_batch_keeps_ok_labels(self):
+        tasks = [
+            FanoutTask(key="stable", fn=_double, args=(3,)),
+            FanoutTask(key="flaky", fn=_flaky, args=(9, 2)),
+        ]
+        results, report = run_fanout(tasks, jobs=2, policy=FAST_RETRIES)
+        assert results == {"stable": 6, "flaky": 9}
+        assert report.outcome("stable") is RunOutcome.OK
+        assert report.outcome("flaky") is RunOutcome.RETRIED
+
+
+class TestDegradation:
+    def test_exhausted_retries_degrade_to_serial(self):
+        tasks = [FanoutTask(key="k", fn=_fail_in_pool, args=(7,))]
+        results, report = run_fanout(tasks, jobs=2, policy=FAST_RETRIES)
+        assert results == {"k": 70}
+        state = report.tasks["k"]
+        assert state.outcome is RunOutcome.DEGRADED
+        assert state.degraded
+        assert state.retries == FAST_RETRIES.max_attempts - 1
+
+    def test_hopeless_task_fails_but_batch_survives(self):
+        tasks = [
+            FanoutTask(key="good", fn=_double, args=(1,)),
+            FanoutTask(key="bad", fn=_always_fail, args=(1,)),
+        ]
+        results, report = run_fanout(tasks, jobs=2, policy=FAST_RETRIES)
+        assert results == {"good": 2}
+        assert report.outcome("bad") is RunOutcome.FAILED
+        assert report.failed_keys == ["bad"]
+        assert not report.all_ok
+
+    def test_degrade_disabled_fails_fast(self):
+        tasks = [FanoutTask(key="k", fn=_fail_in_pool, args=(7,))]
+        results, report = run_fanout(
+            tasks, jobs=2, policy=FAST_RETRIES, degrade=False
+        )
+        assert results == {}
+        assert report.outcome("k") is RunOutcome.FAILED
+
+
+class TestPoolBreakage:
+    def test_worker_crash_is_survived(self):
+        tasks = [FanoutTask(key=i, fn=_crash_first, args=(i,)) for i in range(3)]
+        results, report = run_fanout(tasks, jobs=2, policy=FAST_RETRIES)
+        assert results == {i: i + 1 for i in range(3)}
+        assert report.pool_rebuilds >= 1
+        for task_report in report.tasks.values():
+            assert task_report.outcome in (RunOutcome.RETRIED, RunOutcome.OK)
+        assert any(
+            task_report.outcome is RunOutcome.RETRIED
+            for task_report in report.tasks.values()
+        )
+
+
+class TestTimeouts:
+    def test_hung_task_is_reclaimed(self):
+        tasks = [FanoutTask(key="slow", fn=_hang_first, args=(5,))]
+        started = time.monotonic()  # repro: noqa(REP108) -- asserting wall time
+        results, report = run_fanout(
+            tasks, jobs=1, policy=FAST_RETRIES, task_timeout=0.5
+        )
+        elapsed = time.monotonic() - started  # repro: noqa(REP108) -- ditto
+        assert results == {"slow": 5}
+        assert elapsed < 20.0  # did not wait out the 30 s hang
+        state = report.tasks["slow"]
+        assert state.timeouts == 1
+        assert state.outcome is RunOutcome.RETRIED
+        assert report.pool_rebuilds >= 1

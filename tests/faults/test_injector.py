@@ -1,0 +1,117 @@
+"""Process-wide injector activation, suppression, and injection sites."""
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    ENV_FLAG,
+    FaultContext,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert faults.active_injector() is None
+
+    def test_activate_and_deactivate(self):
+        injector = faults.activate(FaultPlan(fail_rate=1.0))
+        assert faults.active_injector() is injector
+        faults.deactivate()
+        assert faults.active_injector() is None
+
+    def test_resolved_lazily_from_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "seed=5,fail=1.0")
+        faults.reset()
+        injector = faults.active_injector()
+        assert injector is not None
+        assert injector.plan == FaultPlan(seed=5, fail_rate=1.0)
+
+    def test_inactive_env_plan_resolves_to_none(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "seed=5")
+        faults.reset()
+        assert faults.active_injector() is None
+
+
+class TestSuppress:
+    def test_suppress_hides_the_injector(self):
+        faults.activate(FaultPlan(fail_rate=1.0))
+        with faults.suppress():
+            assert faults.active_injector() is None
+            assert faults.suppressed()
+        assert faults.active_injector() is not None
+        assert not faults.suppressed()
+
+    def test_suppress_is_reentrant(self):
+        faults.activate(FaultPlan(fail_rate=1.0))
+        with faults.suppress():
+            with faults.suppress():
+                assert faults.active_injector() is None
+            assert faults.active_injector() is None
+        assert faults.active_injector() is not None
+
+
+class TestEnterWorker:
+    def test_marks_worker_and_fires_faults(self):
+        faults.activate(FaultPlan(fail_rate=1.0))
+        assert not faults.in_worker()
+        ctx = FaultContext(index=0, attempt=0, token="t")
+        with pytest.raises(InjectedFault):
+            faults.enter_worker(ctx)
+        assert faults.in_worker()
+
+    def test_none_context_fires_nothing(self):
+        faults.activate(FaultPlan(fail_rate=1.0))
+        faults.enter_worker(None)  # must not raise
+
+    def test_noop_while_suppressed(self):
+        faults.activate(FaultPlan(fail_rate=1.0))
+        ctx = FaultContext(index=0, attempt=0, token="t")
+        with faults.suppress():
+            faults.enter_worker(ctx)  # must not raise
+            assert not faults.in_worker()
+
+
+class TestInjectionSites:
+    def test_fail_decisions_vary_per_attempt(self):
+        injector = FaultInjector(FaultPlan(seed=11, fail_rate=0.5))
+        decisions = {
+            attempt: injector._fire("fail", f"key@{attempt}", 0.5)
+            for attempt in range(8)
+        }
+        assert True in decisions.values()
+        assert False in decisions.values()
+
+    def test_store_should_fail_deterministic(self):
+        injector = FaultInjector(FaultPlan(seed=3, store_error_rate=0.5))
+        first = [injector.store_should_fail(str(k)) for k in range(16)]
+        second = [injector.store_should_fail(str(k)) for k in range(16)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_corrupt_payload_truncates(self):
+        injector = FaultInjector(FaultPlan(corrupt_rate=1.0))
+        payload = b"x" * 100
+        corrupted = injector.corrupt_payload("key", payload)
+        assert corrupted is not None
+        assert len(corrupted) == 50
+
+    def test_corrupt_payload_none_when_not_selected(self):
+        injector = FaultInjector(FaultPlan(corrupt_rate=0.0))
+        assert injector.corrupt_payload("key", b"data") is None
+
+    def test_zero_rates_never_fire(self):
+        injector = FaultInjector(FaultPlan())
+        ctx = FaultContext(index=0, attempt=0, token="t")
+        injector.on_task_start(ctx)  # no crash, no sleep, no raise
+        assert not injector.store_should_fail("k")

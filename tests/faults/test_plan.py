@@ -1,0 +1,102 @@
+"""FaultPlan parsing, validation, and the deterministic decision source."""
+
+import pytest
+
+from repro.faults import ENV_FLAG, FaultPlan, stable_fraction
+
+
+class TestStableFraction:
+    def test_range_and_determinism(self):
+        for token in ("a", "b", "doom3@0", ""):
+            value = stable_fraction(7, "crash", token)
+            assert 0.0 <= value < 1.0
+            assert value == stable_fraction(7, "crash", token)
+
+    def test_varies_with_each_component(self):
+        base = stable_fraction(0, "site", "token")
+        assert base != stable_fraction(1, "site", "token")
+        assert base != stable_fraction(0, "other", "token")
+        assert base != stable_fraction(0, "site", "other")
+
+    def test_roughly_uniform(self):
+        values = [
+            stable_fraction(3, "u", str(index)) for index in range(2000)
+        ]
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55
+        assert sum(1 for v in values if v < 0.2) / len(values) == pytest.approx(
+            0.2, abs=0.05
+        )
+
+
+class TestParse:
+    def test_empty_spec_is_inactive(self):
+        plan = FaultPlan.parse("")
+        assert not plan.is_active
+        assert plan == FaultPlan()
+
+    def test_full_spec_with_aliases(self):
+        plan = FaultPlan.parse(
+            "seed=7, crash=0.2, fail=0.1, store=0.3, corrupt=0.4, "
+            "slow=0.5, slow_seconds=1.5"
+        )
+        assert plan.seed == 7
+        assert plan.crash_rate == 0.2
+        assert plan.fail_rate == 0.1
+        assert plan.store_error_rate == 0.3
+        assert plan.corrupt_rate == 0.4
+        assert plan.slow_rate == 0.5
+        assert plan.slow_seconds == 1.5
+        assert plan.is_active
+
+    def test_long_form_keys(self):
+        plan = FaultPlan.parse("crash_rate=0.5,store_error_rate=0.25")
+        assert plan.crash_rate == 0.5
+        assert plan.store_error_rate == 0.25
+
+    def test_crash_on_index(self):
+        plan = FaultPlan.parse("crash_on=3")
+        assert plan.crash_on == 3
+        assert plan.is_active
+
+    def test_describe_parse_roundtrip(self):
+        plan = FaultPlan.parse("seed=9,crash=0.2,corrupt=0.1,slow=0.3")
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["crash", "bogus=1", "crash=high", "seed=1.5"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_rate": 1.5},
+            {"fail_rate": -0.1},
+            {"slow_seconds": -1.0},
+            {"crash_on": -2},
+        ],
+    )
+    def test_out_of_range_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestFromEnv:
+    def test_unset_returns_none(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_set_spec_parses(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "seed=4,fail=0.5")
+        plan = FaultPlan.from_env()
+        assert plan == FaultPlan(seed=4, fail_rate=0.5)
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        payload = FaultPlan(seed=2, crash_rate=0.1).as_dict()
+        assert json.loads(json.dumps(payload)) == payload

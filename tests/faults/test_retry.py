@@ -1,0 +1,59 @@
+"""Backoff schedule properties of RetryPolicy."""
+
+import pytest
+
+from repro.faults import FAST_RETRIES, RetryPolicy
+
+
+class TestDelay:
+    def test_grows_geometrically_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=100.0, jitter=0.0
+        )
+        delays = [policy.delay(attempt) for attempt in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=10.0, max_delay=2.0, jitter=0.0
+        )
+        assert policy.delay(5) == 2.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5)
+        for token in ("a", "b", "c", "d"):
+            for attempt in range(3):
+                delay = policy.delay(attempt, token)
+                assert 0.5 <= delay <= 1.5
+
+    def test_jitter_is_deterministic_per_token_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.delay(1, "k") == policy.delay(1, "k")
+        assert policy.delay(1, "k") != policy.delay(1, "other")
+        assert policy.delay(1, "k") != policy.delay(2, "k")
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 2.0},
+        ],
+    )
+    def test_bad_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestFastRetries:
+    def test_never_sleeps_but_keeps_budget(self):
+        assert FAST_RETRIES.max_attempts == RetryPolicy().max_attempts
+        for attempt in range(5):
+            assert FAST_RETRIES.delay(attempt, "token") == 0.0

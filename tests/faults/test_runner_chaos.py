@@ -1,0 +1,160 @@
+"""Chaos tests: the real experiment grid under injected faults.
+
+Each scenario runs a 4-point doom3 design grid through the parallel
+``run_many`` path while a fault plan breaks workers, cache stores, or
+cache entries -- and asserts the grid still completes with results
+bit-identical to a clean serial run (``make chaos`` runs the same
+proof over the full fast-workload grid from the command line).
+"""
+
+import pytest
+
+from repro import faults
+from repro.core import Design
+from repro.core.angle import DEFAULT_THRESHOLD
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.faults import ENV_FLAG, FAST_RETRIES, RunOutcome
+
+WORKLOAD = "doom3-640x480"
+KEYS = [
+    RunKey(WORKLOAD, design, DEFAULT_THRESHOLD.effective_radians, True)
+    for design in Design
+]
+
+
+def run_signature(run):
+    return (
+        run.frame_cycles,
+        run.texture_cycles,
+        run.external_texture_bytes,
+        run.frame.num_requests,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_signatures():
+    with faults.suppress():
+        runner = ExperimentRunner([WORKLOAD])
+        results = runner.run_many(KEYS, jobs=1)
+    return {key: run_signature(run) for key, run in results.items()}
+
+
+@pytest.fixture(autouse=True)
+def clean_faults_state(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def run_grid_under(spec, tmp_path, monkeypatch, jobs=2):
+    """Activate ``spec`` (env + in-process) and run the grid in parallel."""
+    monkeypatch.setenv(ENV_FLAG, spec)
+    faults.reset()  # workers and parent resolve the plan from the env
+    runner = ExperimentRunner(
+        [WORKLOAD], cache_dir=tmp_path, retry_policy=FAST_RETRIES
+    )
+    results = runner.run_many(KEYS, jobs=jobs)
+    return runner, results
+
+
+class TestWorkerCrashes:
+    def test_crash_mid_grid_completes_identically(
+        self, tmp_path, monkeypatch, clean_signatures
+    ):
+        runner, results = run_grid_under(
+            "seed=7,crash_on=0,crash=0.2", tmp_path, monkeypatch
+        )
+        assert set(results) == set(KEYS)
+        for key in KEYS:
+            assert run_signature(results[key]) == clean_signatures[key]
+        report = runner.fanout_report()
+        assert report.pool_rebuilds >= 1
+        assert report.total_retries >= 1
+        assert not report.failed_keys
+        counts = report.outcome_counts()
+        assert counts["failed"] == 0
+        assert counts["retried"] + counts["degraded"] >= 1
+
+
+class TestCacheFaults:
+    def test_corrupt_entries_recompute(
+        self, tmp_path, monkeypatch, clean_signatures
+    ):
+        runner, results = run_grid_under(
+            "seed=7,corrupt=1.0", tmp_path, monkeypatch
+        )
+        assert set(results) == set(KEYS)
+        for key in KEYS:
+            assert run_signature(results[key]) == clean_signatures[key]
+        # Every store was truncated, so every re-read failed its CRC.
+        assert runner.fanout_report().outcome_counts()["failed"] == 0
+
+    def test_store_failures_never_lose_results(
+        self, tmp_path, monkeypatch, clean_signatures
+    ):
+        with pytest.warns(RuntimeWarning, match="cache store failed"):
+            runner, results = run_grid_under(
+                "seed=7,store=1.0", tmp_path, monkeypatch, jobs=1
+            )
+        assert set(results) == set(KEYS)
+        for key in KEYS:
+            assert run_signature(results[key]) == clean_signatures[key]
+        assert runner.disk_cache.stats.stores == 0
+
+    def test_injected_task_failures_degrade_but_complete(
+        self, tmp_path, monkeypatch, clean_signatures
+    ):
+        runner, results = run_grid_under(
+            "seed=7,fail=1.0", tmp_path, monkeypatch
+        )
+        assert set(results) == set(KEYS)
+        for key in KEYS:
+            assert run_signature(results[key]) == clean_signatures[key]
+        report = runner.fanout_report()
+        for key in KEYS:
+            assert report.outcome(key) is RunOutcome.DEGRADED
+        assert not report.failed_keys
+
+
+class TestReporting:
+    def test_clean_parallel_run_labels_everything_ok(
+        self, tmp_path, clean_signatures
+    ):
+        runner = ExperimentRunner([WORKLOAD], cache_dir=tmp_path)
+        results = runner.run_many(KEYS, jobs=2)
+        report = runner.fanout_report()
+        assert report.all_ok
+        # trace task + one task per grid point
+        assert len(report.tasks) == len(KEYS) + 1
+        for key in KEYS:
+            assert report.outcome(key) is RunOutcome.OK
+            assert run_signature(results[key]) == clean_signatures[key]
+
+    def test_serial_run_many_populates_report(self):
+        runner = ExperimentRunner([WORKLOAD])
+        runner.run_many(KEYS, jobs=1)
+        report = runner.fanout_report()
+        assert len(report.tasks) == len(KEYS)
+        assert report.all_ok
+
+    def test_manifest_embeds_plan_and_outcomes(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.manifest import build_manifest
+
+        monkeypatch.setenv(ENV_FLAG, "seed=7,fail=1.0")
+        faults.reset()
+        runner = ExperimentRunner(
+            [WORKLOAD], cache_dir=tmp_path, retry_policy=FAST_RETRIES
+        )
+        runner.run_many(KEYS, jobs=2)
+        manifest = build_manifest("test", config={}, runner=runner)
+        assert manifest.faults["plan"]["fail_rate"] == 1.0
+        fanout = manifest.faults["fanout"]
+        assert fanout["outcomes"]["degraded"] == len(KEYS) + 1
+        assert fanout["outcomes"]["failed"] == 0
+        path = manifest.write(tmp_path / "chaos.manifest.json")
+        from repro.obs.manifest import load_manifest
+
+        assert load_manifest(path).faults == manifest.faults

@@ -25,6 +25,20 @@ class TestCacheConfig:
         assert l1.angle_storage_bytes / 1024 == pytest.approx(0.21, abs=0.02)
         assert l2.angle_storage_bytes / 1024 == pytest.approx(1.75, abs=0.01)
 
+    def test_angle_storage_is_whole_bytes(self):
+        # Storage is allocated in bytes: 256 lines x 7 bits = 1792 bits
+        # divides evenly (224 B), but a geometry that does not must
+        # round up rather than report a fractional byte count.
+        exact = CacheConfig(size_bytes=16 * 1024)
+        assert exact.angle_storage_bytes == 224
+        assert isinstance(exact.angle_storage_bytes, int)
+        ragged = CacheConfig(
+            size_bytes=768, line_bytes=64, associativity=4
+        )
+        assert ragged.num_lines == 12  # 84 bits -> 10.5 B, ceil to 11
+        assert ragged.angle_storage_bytes == 11
+        assert isinstance(ragged.angle_storage_bytes, int)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             CacheConfig(size_bytes=0)

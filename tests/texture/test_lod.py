@@ -136,6 +136,19 @@ class TestQuantizeAngle:
         step = (math.pi / 2) / 127
         assert abs(quantize_angle(angle) - angle) <= step / 2 + 1e-12
 
+    def test_step_matches_documented_resolution(self):
+        # The docstring's arithmetic: the [0, pi/2] range is divided into
+        # 2**7 - 1 steps of 90/(2**7 - 1) ~= 0.71 degrees, so worst-case
+        # rounding error is ~0.35 degrees -- inside the paper's ~1-degree
+        # budget (and finer than a naive 180/2**7 reading would suggest).
+        step_degrees = 90.0 / ((1 << 7) - 1)
+        assert step_degrees == pytest.approx(0.7087, abs=1e-4)
+        worst_error_degrees = step_degrees / 2
+        assert worst_error_degrees == pytest.approx(0.3543, abs=1e-4)
+        assert worst_error_degrees < 1.0
+        step = math.radians(step_degrees)
+        assert quantize_angle(7 * step + 0.45 * step) == pytest.approx(7 * step)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             quantize_angle(-0.1)
