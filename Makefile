@@ -1,13 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-units lint-sarif test check rules invariants bench chaos
+.PHONY: lint lint-units lint-determinism lint-sarif test check rules invariants bench chaos
 
 lint:
 	$(PYTHON) -m repro.analysis lint
 
 lint-units:
 	$(PYTHON) -m repro.analysis lint --select REP2
+
+lint-determinism:
+	$(PYTHON) -m repro.analysis lint --select REP3
 
 lint-sarif:
 	$(PYTHON) -m repro.analysis lint --format sarif --output lint-results.sarif

@@ -21,6 +21,16 @@ checkable by machines instead of reviewers:
 
 from __future__ import annotations
 
+from repro.analysis.baseline import (
+    filter_new,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.determinism import (
+    DeterminismRule,
+    determinism_rule_ids,
+    static_determinism_attestation,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.invariants import (
     InvariantError,
@@ -29,19 +39,26 @@ from repro.analysis.invariants import (
     checks_enabled,
     invariant_names,
 )
-from repro.analysis.linter import Linter, lint_paths, lint_source
+from repro.analysis.linter import Linter, lint_paths, lint_source, lint_sources
 from repro.analysis.rules import DEFAULT_RULES, rule_ids
 
 __all__ = [
     "DEFAULT_RULES",
+    "DeterminismRule",
     "Finding",
     "InvariantError",
     "InvariantViolation",
     "Linter",
     "check_run",
     "checks_enabled",
+    "determinism_rule_ids",
+    "filter_new",
     "invariant_names",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "load_baseline",
     "rule_ids",
+    "static_determinism_attestation",
+    "write_baseline",
 ]

@@ -1,0 +1,90 @@
+"""Finding baselines: adopt the linter on a tree with known findings.
+
+A baseline file freezes the *current* findings so that CI only fails on
+**new** ones.  The workflow::
+
+    python -m repro.analysis lint --write-baseline lint-baseline.json
+    # commit lint-baseline.json, then in CI:
+    python -m repro.analysis lint --baseline lint-baseline.json
+
+Fingerprints are deliberately **line-insensitive**: a finding is
+identified by ``(rule_id, path, message)``, so unrelated edits that
+shift line numbers do not churn the baseline.  Identical fingerprints
+are counted as a multiset -- if a file gains a *second* occurrence of an
+already-baselined finding, that second occurrence is new and reported.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> _Fingerprint:
+    """The line-insensitive identity of a finding."""
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def _counts(findings: Iterable[Finding]) -> Counter:
+    return Counter(fingerprint(finding) for finding in findings)
+
+
+def write_baseline(findings: Sequence[Finding],
+                   path: Union[str, Path]) -> Path:
+    """Freeze the given findings as a baseline file (sorted, stable)."""
+    counts = _counts(findings)
+    entries: List[Dict[str, object]] = [
+        {"rule_id": rule_id, "path": file_path, "message": message,
+         "count": counts[(rule_id, file_path, message)]}
+        for rule_id, file_path, message in sorted(counts)
+    ]
+    output = Path(path)
+    output.write_text(
+        json.dumps({"schema": BASELINE_SCHEMA, "findings": entries},
+                   indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return output
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Read a baseline file back as a fingerprint multiset."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = payload.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ValueError(
+            f"not a lint baseline (schema {schema!r}, "
+            f"expected {BASELINE_SCHEMA!r})"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("findings", []):
+        key = (entry["rule_id"], entry["path"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def filter_new(findings: Sequence[Finding],
+               baseline: Counter) -> List[Finding]:
+    """Findings not covered by the baseline multiset.
+
+    Each baselined fingerprint absorbs up to ``count`` occurrences (in
+    source order); every occurrence beyond that -- or any fingerprint
+    absent from the baseline -- is returned as new.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

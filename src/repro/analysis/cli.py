@@ -5,6 +5,9 @@ Subcommands:
 * ``lint [paths...]`` -- run the custom AST rules over the given files or
   directories (default: ``src``, ``benchmarks`` and ``tests`` under the
   current directory).  Exits 1 when findings exist, so CI can gate on it.
+  ``--jobs N`` fans the per-file checks over a process pool;
+  ``--baseline FILE`` suppresses findings frozen in a baseline file and
+  ``--write-baseline FILE`` (re)freezes the current findings.
 * ``rules`` -- list the rule IDs and what each one enforces.
 * ``invariants`` -- list the registered runtime invariants.
 """
@@ -18,8 +21,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.linter import Linter
-from repro.analysis.rules import DEFAULT_RULES, describe_rules, rule_catalog
+from repro.analysis.baseline import (
+    filter_new,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.linter import lint_paths
+from repro.analysis.rules import describe_rules, rule_catalog
 from repro.analysis.sarif import findings_to_sarif
 
 DEFAULT_LINT_TARGETS = ("src", "benchmarks", "tests", "examples")
@@ -51,7 +59,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    findings = Linter(DEFAULT_RULES).lint_paths(targets)
+    findings = lint_paths(targets, jobs=args.jobs)
     if args.select:
         prefixes = tuple(args.select)
         known = [
@@ -66,6 +74,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
             return 2
         findings = [f for f in findings if f.rule_id.startswith(prefixes)]
+    if args.write_baseline:
+        path = write_baseline(findings, args.write_baseline)
+        print(f"froze {len(findings)} finding(s) into {path}")
+        return 0
+    if args.baseline:
+        if not Path(args.baseline).exists():
+            print(f"no such baseline file: {args.baseline}", file=sys.stderr)
+            return 2
+        known_count = len(findings)
+        findings = filter_new(findings, load_baseline(args.baseline))
+        suppressed = known_count - len(findings)
+        if suppressed:
+            print(
+                f"baseline {args.baseline}: {suppressed} known finding(s) "
+                "suppressed",
+                file=sys.stderr,
+            )
     if args.format == "json":
         _emit(
             json.dumps([finding.as_dict() for finding in findings], indent=2),
@@ -128,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="only report rule IDs starting with PREFIX "
              "(repeatable; e.g. --select REP2 for the unit rules)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan per-file checks over N pool workers (default: serial)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in FILE; only new ones are "
+             "reported (and gate the exit code)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="freeze the current findings into FILE and exit 0",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -94,7 +94,9 @@ def invariant_names() -> List[str]:
 
 def checks_enabled() -> bool:
     """Whether invariant checking is on by default (environment flag)."""
-    return os.environ.get(ENV_FLAG, "").lower() in ("1", "true", "on", "yes")
+    # The flag only decides whether results are *validated*, never what
+    # they are, so a worker-side read cannot skew any computed value.
+    return os.environ.get(ENV_FLAG, "").lower() in ("1", "true", "on", "yes")  # repro: noqa(REP304) -- validation toggle, cannot alter results
 
 
 def _close(left: float, right: float) -> bool:

@@ -20,8 +20,12 @@ Rule IDs are stable and gate-able:
 
 The REP200-series unit-aware dataflow rules (``bytes + cycles``,
 degree/radian confusion, untagged public quantities, ...) live in
-:mod:`repro.analysis.units` and are registered here alongside the
-syntactic rules.
+:mod:`repro.analysis.units`, and the REP300-series determinism /
+worker-safety rules (nondeterminism taint into cache keys and
+manifests, fork-unsafe global mutation, unpicklable task payloads,
+order-sensitive parallel reductions, worker env reads) live in
+:mod:`repro.analysis.determinism`; both are registered here alongside
+the syntactic rules.
 """
 
 from __future__ import annotations
@@ -29,6 +33,11 @@ from __future__ import annotations
 import ast
 from typing import List, Optional, Tuple
 
+from repro.analysis.determinism import (
+    DETERMINISM_RULE_TABLE,
+    DeterminismRule,
+    determinism_rule_ids,
+)
 from repro.analysis.linter import LintContext, LintRule
 from repro.analysis.units import UNIT_RULE_TABLE, UnitDataflowRule, unit_rule_ids
 
@@ -515,39 +524,48 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     MonotonicOutsideObsRule(),
     BarePoolMapRule(),
     UnitDataflowRule(),
+    DeterminismRule(),
 )
+
+#: Engines owning a whole ID range each; excluded from the per-rule
+#: listings and replaced by their ID tables.
+_MULTI_ID_ENGINES = (UnitDataflowRule, DeterminismRule)
 
 
 def rule_ids() -> List[str]:
     """The stable IDs of all default rules (excluding REP100).
 
     The unit dataflow engine is one rule object but owns the eight
-    REP200-series IDs; they are all listed here.
+    REP200-series IDs, and the determinism engine owns the five
+    REP300-series IDs; they are all listed here.
     """
     ids = [
         rule.rule_id
         for rule in DEFAULT_RULES
-        if not isinstance(rule, UnitDataflowRule)
+        if not isinstance(rule, _MULTI_ID_ENGINES)
     ]
     ids.extend(unit_rule_ids())
+    ids.extend(determinism_rule_ids())
     return ids
 
 
 def rule_catalog() -> List[Tuple[str, str, str]]:
     """``(rule_id, name, description)`` for every reportable rule.
 
-    Includes REP100 (emitted by the engine on syntax errors) and the
-    REP200-series IDs owned by the unit dataflow engine; used by the
-    rule listing and the SARIF serializer.
+    Includes REP100 (emitted by the engine on syntax errors) plus the
+    REP200-series IDs owned by the unit dataflow engine and the
+    REP300-series IDs owned by the determinism engine; used by the rule
+    listing and the SARIF serializer.
     """
     catalog: List[Tuple[str, str, str]] = [
         ("REP100", "syntax-error", "file does not parse")
     ]
     for rule in DEFAULT_RULES:
-        if isinstance(rule, UnitDataflowRule):
+        if isinstance(rule, _MULTI_ID_ENGINES):
             continue
         catalog.append((rule.rule_id, rule.name, rule.description))
     catalog.extend(UNIT_RULE_TABLE)
+    catalog.extend(DETERMINISM_RULE_TABLE)
     return catalog
 
 

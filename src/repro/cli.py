@@ -189,6 +189,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 fast=args.fast,
                 jobs=args.jobs,
                 min_speedup=args.min_speedup,
+                lint_min_speedup=args.lint_min_speedup,
                 output_dir=args.output_dir,
             )
         if manifest_requested:
@@ -198,6 +199,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 command="bench",
                 config={"fast": args.fast, "jobs": args.jobs,
                         "min_speedup": args.min_speedup,
+                        "lint_min_speedup": args.lint_min_speedup,
                         "output_dir": args.output_dir},
             )
             path = args.manifest or str(
@@ -309,6 +311,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             # clean), so record the exercised plan explicitly.
             record.faults.setdefault("plan", plan.as_dict())
             record.faults["bit_identical"] = identical
+            # Attest that the REP300-series static pass is clean: the
+            # chaos gate's bit-identity claim rests on the worker paths
+            # being free of nondeterminism sources.
+            from repro.analysis import static_determinism_attestation
+
+            attestation = static_determinism_attestation()
+            record.faults["static_determinism"] = attestation
+            print(
+                "static determinism pass "
+                + f"({', '.join(attestation['rules'])}): "
+                + ("clean" if attestation["clean"]
+                   else f"{len(attestation['findings'])} finding(s)")
+            )
             path = args.manifest or "CHAOS.manifest.json"
             record.write(path)
             print(f"wrote {path}")
@@ -402,6 +417,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="single-workload smoke configuration (CI)")
     bench.add_argument("--jobs", type=int, default=None,
                        help="parallel workers for the cold runner benchmark")
+    bench.add_argument("--lint-min-speedup", type=float, default=0.0,
+                       help="fail unless parallel lint beats serial by this "
+                            "factor (0 disables; single-core boxes cannot "
+                            "win, see BENCH_lint.json)")
     bench.add_argument("--min-speedup", type=float, default=1.0,
                        help="fail if the batched exact sampler's slowest "
                        "workload speedup is below this factor")

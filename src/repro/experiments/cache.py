@@ -90,7 +90,7 @@ def source_version() -> str:
             digest.update(str(path.relative_to(package_root)).encode())
             digest.update(b"\0")
             digest.update(path.read_bytes())
-        _SOURCE_VERSION = digest.hexdigest()[:16]
+        _SOURCE_VERSION = digest.hexdigest()[:16]  # repro: noqa(REP301) -- per-process memo of a digest every process derives identically
     return _SOURCE_VERSION
 
 
@@ -119,7 +119,7 @@ class DiskCache:
 
     def __post_init__(self) -> None:
         if self.root is None:
-            env = os.environ.get("REPRO_CACHE_DIR")
+            env = os.environ.get("REPRO_CACHE_DIR")  # repro: noqa(REP304) -- selects the store's location, never the content of any entry
             self.root = Path(env) if env else Path.cwd() / ".repro-cache"
         else:
             self.root = Path(self.root)

@@ -438,9 +438,13 @@ class ExperimentRunner:
                         phase="faults.trace_fanout",
                     )
                     if traced:
+                        # Graft in submission order, not dict (completion)
+                        # order, so the manifest span tree is bit-identical
+                        # across runs.
                         _graft_worker_spans(
                             trace_phase,
-                            [pair[1] for pair in trace_results.values()],
+                            [trace_results[name][1] for name in workload_names
+                             if name in trace_results],
                         )
                 report.merge(trace_report)
                 with obs.span(
@@ -461,7 +465,8 @@ class ExperimentRunner:
                     if traced:
                         _graft_worker_spans(
                             run_phase,
-                            [pair[1] for pair in run_results.values()],
+                            [run_results[key][1] for key in pending
+                             if key in run_results],
                         )
                 report.merge(run_report)
                 for key in pending:

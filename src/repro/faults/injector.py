@@ -124,8 +124,8 @@ def deactivate() -> None:
 def reset() -> None:
     """Forget explicit activation; re-resolve from the environment."""
     global _active, _in_worker
-    _active = _UNRESOLVED
-    _in_worker = False
+    _active = _UNRESOLVED  # repro: noqa(REP301) -- process-local injector state, re-derived deterministically from plan/env
+    _in_worker = False  # repro: noqa(REP301) -- ditto; never read back by the parent
 
 
 def active_injector() -> Optional[FaultInjector]:
@@ -139,7 +139,7 @@ def active_injector() -> Optional[FaultInjector]:
         return None
     if _active is _UNRESOLVED:
         plan = FaultPlan.from_env()
-        _active = FaultInjector(plan) if plan is not None and plan.is_active else None
+        _active = FaultInjector(plan) if plan is not None and plan.is_active else None  # repro: noqa(REP301) -- memo of a resolution every process computes identically
     return _active  # type: ignore[return-value]
 
 
@@ -151,11 +151,11 @@ def suppress() -> Iterator[None]:
     clean path, so injected faults must not chase a task there.
     """
     global _suppress_depth
-    _suppress_depth += 1
+    _suppress_depth += 1  # repro: noqa(REP301) -- injector bookkeeping; faults must NOT fire on the clean fallback, which is the point
     try:
         yield
     finally:
-        _suppress_depth -= 1
+        _suppress_depth -= 1  # repro: noqa(REP301) -- paired restore of the suppression depth
 
 
 def suppressed() -> bool:
@@ -180,7 +180,7 @@ def enter_worker(ctx: Optional[FaultContext]) -> None:
     global _in_worker
     if _suppress_depth > 0:
         return
-    _in_worker = True
+    _in_worker = True  # repro: noqa(REP301) -- the worker-entry hook exists to mark this process as a worker; parent never sees it
     if ctx is None:
         return
     injector = active_injector()

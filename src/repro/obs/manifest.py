@@ -162,7 +162,7 @@ def build_manifest(
         config=config,
         digest=config_digest(config),
         source=source_version(),
-        created_unix=time.time(),
+        created_unix=time.time(),  # repro: noqa(REP300) -- provenance timestamp; excluded from the bit-identity comparison
         tracing=tracing_enabled(),
         cache=cache,
         spans=tracer.as_dicts(),

@@ -282,7 +282,7 @@ def attach_stats(stats: Any, prefix: str = "") -> None:
 def reset_tracer() -> None:
     """Clear the process-wide tracer (pool workers call this on entry:
     a forked worker inherits the parent's half-built span forest)."""
-    _TRACER.reset()
+    _TRACER.reset()  # repro: noqa(REP301) -- dropping inherited spans on worker entry is the fork-safety fix, not the hazard
 
 
 _F = TypeVar("_F", bound=Callable[..., Any])

@@ -15,6 +15,13 @@ Three benchmarks, written as machine-readable JSON at the repo root:
     fixed numeric kernel timed bare vs wrapped in ``timed_stage`` with
     ``REPRO_TRACE`` off.  The wrapped path must stay within noise of
     the bare one (the zero-overhead-when-disabled contract).
+``BENCH_lint.json``
+    The static-analysis pass (three rule families over the whole repo)
+    serial vs fanned out over :func:`repro.faults.run_fanout`, with a
+    findings-identity check between the two modes.  The identity check
+    always gates; the speedup gates only when ``--lint-min-speedup`` is
+    set above zero, because each pool worker must replay the cross-file
+    ``prepare`` and single-core CI boxes therefore cannot win.
 
 All numbers are host wall-clock seconds -- the speed of the
 reproduction itself, not of the modelled hardware.
@@ -34,6 +41,7 @@ import numpy as np
 BENCH_SAMPLING_FILENAME = "BENCH_sampling.json"
 BENCH_RUNNER_FILENAME = "BENCH_runner.json"
 BENCH_TRACING_FILENAME = "BENCH_tracing.json"
+BENCH_LINT_FILENAME = "BENCH_lint.json"
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -282,10 +290,68 @@ def bench_tracing(repeats: int = 7, calls: int = 400) -> Dict[str, Any]:
     }
 
 
+def bench_lint(
+    targets: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """Time the full lint (serial vs ``run_fanout`` pool) over the repo.
+
+    The parallel path chunks the fileset over the fault-tolerant
+    scheduler; every worker replays the cross-file ``prepare`` before
+    checking its chunk, so the serial/parallel findings lists must be
+    byte-identical -- that identity is the primary result here, with the
+    wall-clock speedup reported alongside it.  ``jobs`` defaults to the
+    core count capped at 4 (forced to at least 2 so the pool path is
+    exercised even on one core).
+    """
+    import os
+
+    from repro.analysis.linter import lint_paths
+    from repro.experiments.cache import source_version
+
+    if targets is None:
+        targets = [name for name in ("src", "benchmarks", "tests", "examples")
+                   if Path(name).exists()]
+    paths = [Path(name) for name in targets]
+    if jobs is None:
+        jobs = max(2, min(4, os.cpu_count() or 1))
+
+    serial_seconds = float("inf")
+    parallel_seconds = float("inf")
+    serial_findings: List[Any] = []
+    parallel_findings: List[Any] = []
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        serial_findings = lint_paths(paths)
+        serial_seconds = min(serial_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        parallel_findings = lint_paths(paths, jobs=jobs)
+        parallel_seconds = min(
+            parallel_seconds, time.perf_counter() - started
+        )
+
+    return {
+        "schema": "repro-bench-lint/1",
+        "source_version": source_version(),
+        "targets": [str(path) for path in paths],
+        "jobs": jobs,
+        "repeats": repeats,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup_parallel_vs_serial": _speedup(
+            serial_seconds, parallel_seconds
+        ),
+        "findings": len(serial_findings),
+        "identical_findings": serial_findings == parallel_findings,
+    }
+
+
 def run_bench(
     fast: bool = False,
     jobs: Optional[int] = None,
     min_speedup: float = 1.0,
+    lint_min_speedup: float = 0.0,
     output_dir: str = ".",
 ) -> int:
     """Run both benchmarks, write the JSON files, gate on ``min_speedup``.
@@ -342,6 +408,17 @@ def run_bench(
     )
     print(f"wrote {tracing_path}")
 
+    lint = bench_lint(jobs=jobs)
+    lint_path = out / BENCH_LINT_FILENAME
+    lint_path.write_text(json.dumps(lint, indent=2) + "\n")
+    print(
+        f"lint: serial {lint['serial_seconds']:.2f}s, "
+        f"parallel(jobs={lint['jobs']}) {lint['parallel_seconds']:.2f}s "
+        f"({lint['speedup_parallel_vs_serial']:.2f}x), "
+        f"identical findings: {lint['identical_findings']}"
+    )
+    print(f"wrote {lint_path}")
+
     if not summary["bit_identical"]:
         print("FAIL: batched sampler output is not bit-identical to scalar")
         return 1
@@ -349,6 +426,16 @@ def run_bench(
         print(
             f"FAIL: batched sampler speedup {summary['min_exact_speedup']:.2f}x "
             f"below required {min_speedup:.2f}x"
+        )
+        return 1
+    if not lint["identical_findings"]:
+        print("FAIL: parallel lint findings differ from the serial run")
+        return 1
+    if lint["speedup_parallel_vs_serial"] < lint_min_speedup:
+        print(
+            f"FAIL: parallel lint speedup "
+            f"{lint['speedup_parallel_vs_serial']:.2f}x below required "
+            f"{lint_min_speedup:.2f}x"
         )
         return 1
     return 0
