@@ -24,6 +24,8 @@ from __future__ import annotations
 from repro.analysis.baseline import (
     filter_new,
     load_baseline,
+    merge_baseline,
+    scope_baseline,
     write_baseline,
 )
 from repro.analysis.determinism import (
@@ -32,6 +34,7 @@ from repro.analysis.determinism import (
     static_determinism_attestation,
 )
 from repro.analysis.findings import Finding
+from repro.analysis.hotspots import SpanProfile, rank_findings
 from repro.analysis.invariants import (
     InvariantError,
     InvariantViolation,
@@ -41,6 +44,7 @@ from repro.analysis.invariants import (
 )
 from repro.analysis.linter import Linter, lint_paths, lint_source, lint_sources
 from repro.analysis.rules import DEFAULT_RULES, rule_ids
+from repro.analysis.vectorize import VectorizeRule, vectorize_rule_ids
 
 __all__ = [
     "DEFAULT_RULES",
@@ -49,6 +53,8 @@ __all__ = [
     "InvariantError",
     "InvariantViolation",
     "Linter",
+    "SpanProfile",
+    "VectorizeRule",
     "check_run",
     "checks_enabled",
     "determinism_rule_ids",
@@ -58,7 +64,11 @@ __all__ = [
     "lint_source",
     "lint_sources",
     "load_baseline",
+    "merge_baseline",
+    "rank_findings",
     "rule_ids",
+    "scope_baseline",
     "static_determinism_attestation",
+    "vectorize_rule_ids",
     "write_baseline",
 ]

@@ -37,10 +37,7 @@ def _counts(findings: Iterable[Finding]) -> Counter:
     return Counter(fingerprint(finding) for finding in findings)
 
 
-def write_baseline(findings: Sequence[Finding],
-                   path: Union[str, Path]) -> Path:
-    """Freeze the given findings as a baseline file (sorted, stable)."""
-    counts = _counts(findings)
+def _write_counts(counts: Counter, path: Union[str, Path]) -> Path:
     entries: List[Dict[str, object]] = [
         {"rule_id": rule_id, "path": file_path, "message": message,
          "count": counts[(rule_id, file_path, message)]}
@@ -53,6 +50,43 @@ def write_baseline(findings: Sequence[Finding],
         encoding="utf-8",
     )
     return output
+
+
+def write_baseline(findings: Sequence[Finding],
+                   path: Union[str, Path]) -> Path:
+    """Freeze the given findings as a baseline file (sorted, stable)."""
+    return _write_counts(_counts(findings), path)
+
+
+def scope_baseline(baseline: Counter,
+                   prefixes: Sequence[str]) -> Counter:
+    """Restrict a baseline multiset to the selected rule-ID prefixes.
+
+    When ``--select`` narrows a lint run to one family, the loaded
+    baseline must be narrowed the same way so the suppression
+    accounting stays per-family consistent.
+    """
+    selected = tuple(prefixes)
+    return Counter({key: count for key, count in baseline.items()
+                    if key[0].startswith(selected)})
+
+
+def merge_baseline(findings: Sequence[Finding],
+                   path: Union[str, Path],
+                   prefixes: Sequence[str]) -> Path:
+    """Re-freeze only the selected families, preserving the others.
+
+    ``lint --select REP4 --write-baseline FILE`` used to *clobber* FILE
+    with REP4-only fingerprints, silently resurrecting every suppressed
+    finding from the other families on the next full run.  Instead:
+    entries outside the selected prefixes are carried over unchanged and
+    only the selected families are replaced by the current findings.
+    """
+    selected = tuple(prefixes)
+    existing = load_baseline(path) if Path(path).exists() else Counter()
+    kept = Counter({key: count for key, count in existing.items()
+                    if not key[0].startswith(selected)})
+    return _write_counts(kept + _counts(findings), path)
 
 
 def load_baseline(path: Union[str, Path]) -> Counter:

@@ -1,0 +1,196 @@
+"""Profile-guided finding ranking: measured heat for static findings.
+
+A static analyzer can say *this loop is scalar*; only a profile can say
+*this loop is 40% of the frame*.  This module joins the two: it loads
+the span tree out of a ``repro-run-manifest/1`` file (the artifact
+``--manifest`` runs already write), attributes wall-clock to span names
+via :mod:`repro.obs.attribution`, matches each lint finding's enclosing
+function against those span names, and annotates/sorts the findings
+hottest-first.  ``python -m repro.analysis lint --profile MANIFEST``
+drives it; the annotations travel in the SARIF property bag.
+
+Span names come in two shapes and the matcher handles both:
+
+* ``timed_stage`` spans are fully qualified (``repro.core.frontend.
+  simulate_frame``) and match a finding's ``module.qualname`` exactly
+  or by function-name suffix.
+* manual stage spans are short dotted labels (``render.rasterize``,
+  ``core.expand``); those match by dotted-segment overlap with the
+  finding's qualified name, highest overlap winning.
+
+A finding whose function matches no span keeps ``properties=None`` and
+sorts after every measured one (stable, so source order is the
+tiebreak).  Matching is heuristic by design -- it ranks where humans
+look first; it is not a call-graph profiler.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.obs.attribution import SpanCost, attribute_spans, profile_total
+from repro.obs.manifest import load_manifest
+
+__all__ = ["SpanProfile", "enclosing_function", "rank_findings"]
+
+#: Dotted segments too generic to count as overlap evidence on their
+#: own (every project function lives under ``repro``; ``self`` etc.
+#: never appear but cost nothing to exclude).
+_GENERIC_SEGMENTS = frozenset({"repro", "src", "py", "self"})
+
+
+class SpanProfile:
+    """Per-name wall-clock costs extracted from one manifest's spans."""
+
+    def __init__(self, spans: Sequence[Mapping[str, Any]]) -> None:
+        self.costs: Dict[str, SpanCost] = attribute_spans(spans)
+        self.total = profile_total(spans)
+
+    @classmethod
+    def from_manifest(cls, path: Union[str, Path]) -> "SpanProfile":
+        """Load the span tree of a ``repro-run-manifest/1`` file."""
+        return cls(load_manifest(path).spans)
+
+    # -- matching -------------------------------------------------------
+
+    def match(self, module: str, qualname: str) -> Optional[SpanCost]:
+        """The best span for ``module.qualname``, or None.
+
+        Exact name beats function-name suffix beats segment overlap;
+        lexicographic span name breaks remaining ties so ranking is
+        deterministic across runs.
+        """
+        full = f"{module}.{qualname}" if module else qualname
+        simple = qualname.split(".")[-1]
+        full_segments = {
+            segment for segment in full.split(".")
+            if segment not in _GENERIC_SEGMENTS
+        }
+        best: Optional[Tuple[int, str]] = None
+        for name in self.costs:
+            if name == full:
+                score = 1000
+            else:
+                score = 0
+                if name == simple or name.endswith("." + simple):
+                    score += 100
+                segments = {
+                    segment for segment in name.split(".")
+                    if segment not in _GENERIC_SEGMENTS
+                }
+                score += len(segments & full_segments)
+            if score <= 0:
+                continue
+            # Larger score wins; on equal score the lexicographically
+            # smaller span name wins, so ranking is deterministic.
+            if best is None or score > best[0] \
+                    or (score == best[0] and name < best[1]):
+                best = (score, name)
+        if best is None:
+            return None
+        return self.costs[best[1]]
+
+    def share(self, cost: SpanCost) -> float:
+        """``cost.total`` as a fraction of the run's root wall-clock."""
+        if self.total <= 0.0:
+            return 0.0
+        return min(1.0, cost.total / self.total)
+
+
+def _module_name(path: str) -> str:
+    """``src/repro/render/raster.py`` -> ``repro.render.raster``."""
+    posix = Path(path).as_posix()
+    marker = "src/"
+    position = posix.rfind(marker)
+    tail = posix[position + len(marker):] if position >= 0 else posix
+    if tail.endswith(".py"):
+        tail = tail[:-3]
+    return tail.replace("/", ".")
+
+
+def enclosing_function(source: str, line: int) -> Optional[str]:
+    """Qualname of the innermost def/class spanning ``line``, or None."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None
+    best: Optional[Tuple[int, str]] = None
+
+    def visit(node: ast.AST, qual: Tuple[str, ...]) -> None:
+        nonlocal best
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_qual = qual + (child.name,)
+                end = getattr(child, "end_lineno", None) or child.lineno
+                if child.lineno <= line <= end \
+                        and not isinstance(child, ast.ClassDef):
+                    depth = len(child_qual)
+                    if best is None or depth > best[0]:
+                        best = (depth, ".".join(child_qual))
+                visit(child, child_qual)
+            else:
+                visit(child, qual)
+
+    visit(tree, ())
+    return best[1] if best else None
+
+
+def rank_findings(
+    findings: Sequence[Finding],
+    profile: SpanProfile,
+    sources: Optional[Mapping[str, str]] = None,
+) -> List[Finding]:
+    """Annotate findings with measured heat and sort hottest-first.
+
+    ``sources`` maps finding paths to file contents (tests inject
+    fixtures here); unlisted paths are read from disk, and unreadable
+    ones simply stay unranked.
+    """
+    source_cache: Dict[str, Optional[str]] = dict(sources or {})
+
+    def source_for(path: str) -> Optional[str]:
+        if path not in source_cache:
+            try:
+                source_cache[path] = Path(path).read_text(encoding="utf-8")
+            except OSError:
+                source_cache[path] = None
+        return source_cache[path]
+
+    annotated: List[Tuple[float, int, Finding]] = []
+    for position, finding in enumerate(findings):
+        share = -1.0
+        out = finding
+        source = source_for(finding.path)
+        qualname = (enclosing_function(source, finding.line)
+                    if source is not None else None)
+        if qualname is not None:
+            cost = profile.match(_module_name(finding.path), qualname)
+            if cost is not None:
+                share = profile.share(cost)
+                out = replace(finding, properties={
+                    "profile": {
+                        "span": cost.name,
+                        "seconds": round(cost.total, 6),
+                        "share": round(share, 6),
+                    }
+                })
+        annotated.append((share, position, out))
+
+    annotated.sort(key=lambda item: (-item[0], item[1]))
+    return [finding for _share, _position, finding in annotated]
+
+
+def format_ranked(finding: Finding) -> str:
+    """Text form with the heat prefix when the finding is ranked."""
+    profile = (finding.properties or {}).get("profile") \
+        if finding.properties else None
+    if not profile:
+        return f"[    --] {finding.format()}"
+    share = float(profile.get("share", 0.0))
+    span = profile.get("span", "?")
+    return f"[{share:6.1%}] {finding.format()} (span {span})"

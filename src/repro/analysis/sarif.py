@@ -64,6 +64,12 @@ def findings_to_sarif(
         }
         if finding.rule_id in rule_index:
             result["ruleIndex"] = rule_index[finding.rule_id]
+        properties = getattr(finding, "properties", None)
+        if properties:
+            # SARIF property bag: profile-guided annotations (measured
+            # wall-clock share of the enclosing span) ride along so CI
+            # artifacts keep the hottest-first ranking evidence.
+            result["properties"] = dict(properties)
         results.append(result)
 
     return {

@@ -150,7 +150,7 @@ class GpuPipeline:
         tile_size = trace.tile_size
         tiles_x = max(1, (trace.width + tile_size - 1) // tile_size)
         assignments = []
-        for request in trace.requests:
+        for request in trace.requests:  # repro: noqa(REP400) -- AoS trace order is the replay contract; O(n) integer bookkeeping, no per-element float math
             tile_index = request.tile_y * tiles_x + request.tile_x
             assignments.append(tile_index % self.config.num_clusters)
         return assignments
@@ -205,7 +205,7 @@ class GpuPipeline:
             if per_cluster[cluster]:
                 heapq.heappush(heap, (next_issue(cluster), cluster))
 
-        while heap:
+        while heap:  # repro: noqa(REP400) -- event-ordered replay is the cycle model's semantic core; the ROADMAP tracks batching ready events per timestamp
             issue, cluster = heapq.heappop(heap)
             current = next_issue(cluster)
             if current > issue:

@@ -16,9 +16,11 @@ Three benchmarks, written as machine-readable JSON at the repo root:
     ``REPRO_TRACE`` off.  The wrapped path must stay within noise of
     the bare one (the zero-overhead-when-disabled contract).
 ``BENCH_lint.json``
-    The static-analysis pass (three rule families over the whole repo)
+    The static-analysis pass (four rule families over the whole repo)
     serial vs fanned out over :func:`repro.faults.run_fanout`, with a
-    findings-identity check between the two modes.  The identity check
+    findings-identity check between the two modes -- reported per family
+    and separately for the REP400 vectorize engine, whose hot-path call
+    graph every pool worker must rebuild identically.  The identity check
     always gates; the speedup gates only when ``--lint-min-speedup`` is
     set above zero, because each pool worker must replay the cross-file
     ``prepare`` and single-core CI boxes therefore cannot win.
@@ -331,6 +333,20 @@ def bench_lint(
             parallel_seconds, time.perf_counter() - started
         )
 
+    # Per-family counts (REP1 counters, REP2 units, REP3 determinism,
+    # REP4 vectorization) plus a dedicated identity check for the REP4
+    # engine: its prepare() builds the hot-path call graph, which every
+    # pool worker must reconstruct identically from its chunk's shared
+    # source snapshot.
+    by_family: Dict[str, int] = {}
+    for finding in serial_findings:
+        family = finding.rule_id[:4]
+        by_family[family] = by_family.get(family, 0) + 1
+    serial_rep4 = [f for f in serial_findings if f.rule_id.startswith("REP4")]
+    parallel_rep4 = [
+        f for f in parallel_findings if f.rule_id.startswith("REP4")
+    ]
+
     return {
         "schema": "repro-bench-lint/1",
         "source_version": source_version(),
@@ -343,7 +359,9 @@ def bench_lint(
             serial_seconds, parallel_seconds
         ),
         "findings": len(serial_findings),
+        "findings_by_family": dict(sorted(by_family.items())),
         "identical_findings": serial_findings == parallel_findings,
+        "identical_rep4_findings": serial_rep4 == parallel_rep4,
     }
 
 
@@ -411,11 +429,16 @@ def run_bench(
     lint = bench_lint(jobs=jobs)
     lint_path = out / BENCH_LINT_FILENAME
     lint_path.write_text(json.dumps(lint, indent=2) + "\n")
+    families = ", ".join(
+        f"{family} {count}"
+        for family, count in lint["findings_by_family"].items()
+    ) or "clean"
     print(
         f"lint: serial {lint['serial_seconds']:.2f}s, "
         f"parallel(jobs={lint['jobs']}) {lint['parallel_seconds']:.2f}s "
         f"({lint['speedup_parallel_vs_serial']:.2f}x), "
-        f"identical findings: {lint['identical_findings']}"
+        f"identical findings: {lint['identical_findings']} "
+        f"(rep4: {lint['identical_rep4_findings']}; {families})"
     )
     print(f"wrote {lint_path}")
 
@@ -430,6 +453,12 @@ def run_bench(
         return 1
     if not lint["identical_findings"]:
         print("FAIL: parallel lint findings differ from the serial run")
+        return 1
+    if not lint["identical_rep4_findings"]:
+        print(
+            "FAIL: REP400-series findings differ between serial and "
+            "parallel lint (hot-path call graph diverged across workers)"
+        )
         return 1
     if lint["speedup_parallel_vs_serial"] < lint_min_speedup:
         print(

@@ -141,7 +141,7 @@ class Rasterizer:
             )
             if fragments:
                 self.stats.triangles_rasterized += 1
-            for fragment in fragments:
+            for fragment in fragments:  # repro: noqa(REP400) -- AoS emission order is the fragment contract; the ROADMAP tracks the SoA fragment stream
                 request = self._fragment_to_request(fragment)
                 results.append((fragment, request))
         return results
@@ -175,15 +175,26 @@ class Rasterizer:
         width, height = framebuffer.width, framebuffer.height
 
         # --- geometry: transform, clip, project ------------------------
-        clip_vertices: List[np.ndarray] = []
-        for index in range(3):
-            position = np.append(triangle.vertices[index], 1.0)
-            clip = view_projection @ position
-            # Attribute tail: u, v in texel units; world position for the
-            # per-pixel view vector.
-            uv_texels = triangle.uvs[index] * np.array([tex_width, tex_height])
-            attributes = np.concatenate([uv_texels, triangle.vertices[index]])
-            clip_vertices.append(np.concatenate([clip, attributes]))
+        # Homogeneous positions and texel-space UVs for all three
+        # vertices at once (REP403: the per-vertex np.append/np.array
+        # allocations used to run inside the loop).  Row-wise this is
+        # the same IEEE-754 arithmetic as the per-vertex form, so the
+        # clip vertices are bit-identical.
+        positions = np.concatenate(
+            [triangle.vertices, np.ones((3, 1))], axis=1
+        )
+        uv_texels = triangle.uvs * np.array([tex_width, tex_height])
+        clip_vertices: List[np.ndarray] = [
+            # Rows of [x, y, z, w, u, v, wx, wy, wz]: clip position,
+            # then the attribute tail (u, v in texel units; world
+            # position for the per-pixel view vector).
+            np.concatenate([
+                view_projection @ positions[index],
+                uv_texels[index],
+                triangle.vertices[index],
+            ])
+            for index in range(3)
+        ]
 
         clipped = _clip_polygon_near(clip_vertices, camera.near)
         if len(clipped) < 3:
@@ -215,7 +226,7 @@ class Rasterizer:
         # Screen coordinates (pixel centres at integer + 0.5).
         screen = np.zeros((3, 2))
         inv_w = np.zeros(3)
-        for index, vertex in enumerate(trio):
+        for index, vertex in enumerate(trio):  # repro: noqa(REP400) -- bounded by the 3 vertices of a triangle, not by fragment count
             w = vertex[3]
             if w <= 0:
                 return []  # guarded by clipping; degenerate numeric case
@@ -315,7 +326,7 @@ class Rasterizer:
         path is tested against; select with ``Rasterizer(vectorized=False)``)."""
         fragments: List[RasterFragment] = []
         camera_position = camera.position
-        for row, col in zip(rows, cols):
+        for row, col in zip(rows, cols):  # repro: noqa(REP400) -- this IS the scalar oracle the vectorized path is parity-tested against
             b = (bary0[row, col], bary1[row, col], bary2[row, col])
             d = denom[row, col]
             if d <= 0:
@@ -429,7 +440,7 @@ class Rasterizer:
             pixel_x[visible], pixel_y[visible], depth[visible], w_value[visible],
         )
         b0, b1, b2 = b0[visible], b1[visible], b2[visible]
-        framebuffer.depth[pixel_y, pixel_x] = depth
+        framebuffer.depth[pixel_y, pixel_x] = depth  # repro: noqa(REP404) -- pixel coordinates within one triangle are unique (top-left fill rule), so no duplicate indices exist
 
         numerators = (
             b0[:, None] * attrs_over_w[0]
@@ -481,7 +492,7 @@ class Rasterizer:
                 dvdx=float(dvdx[index]),
                 dudy=float(dudy[index]),
                 dvdy=float(dvdy[index]),
-                camera_angle=math.acos(abs(float(cosine[index]))),
+                camera_angle=math.acos(abs(float(cosine[index]))),  # repro: noqa(REP401) -- np.arccos's SIMD kernel differs from libm acos on ~9% of inputs here (measured); the scalar-oracle parity contract forbids it
                 texture_id=texture_id,
             )
             for index in range(len(pixel_x))
