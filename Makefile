@@ -28,7 +28,7 @@ test:
 	REPRO_CHECK_INVARIANTS=1 $(PYTHON) -m pytest -x -q
 
 bench:
-	$(PYTHON) -m repro bench
+	$(PYTHON) -m repro bench --min-speedup 1.0 --frame-min-speedup 1.5
 
 chaos:
 	$(PYTHON) -m repro chaos --jobs 2 --manifest CHAOS.manifest.json

@@ -190,6 +190,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 min_speedup=args.min_speedup,
                 lint_min_speedup=args.lint_min_speedup,
+                frame_min_speedup=args.frame_min_speedup,
                 output_dir=args.output_dir,
             )
         if manifest_requested:
@@ -200,6 +201,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 config={"fast": args.fast, "jobs": args.jobs,
                         "min_speedup": args.min_speedup,
                         "lint_min_speedup": args.lint_min_speedup,
+                        "frame_min_speedup": args.frame_min_speedup,
                         "output_dir": args.output_dir},
             )
             path = args.manifest or str(
@@ -424,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=1.0,
                        help="fail if the batched exact sampler's slowest "
                        "workload speedup is below this factor")
+    bench.add_argument("--frame-min-speedup", type=float, default=1.0,
+                       help="fail if the whole-frame (trace+replay) "
+                       "vectorized speedup is below this factor on any "
+                       "workload, see BENCH_frame.json")
     bench.add_argument("--output-dir", default=".",
                        help="directory for BENCH_*.json (default: cwd)")
     bench.add_argument("--manifest", nargs="?", const="", default=None,

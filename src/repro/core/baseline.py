@@ -7,7 +7,10 @@ external links for B-PIM -- section III's drop-in replacement).
 
 from __future__ import annotations
 
-from typing import List
+from collections import OrderedDict
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.core.designs import Design, DesignConfig
 from repro.core.expansion import ExpandedRequest
@@ -18,12 +21,14 @@ from repro.core.paths import (
     HmcExternalInterface,
     MemoryInterface,
     PathActivity,
+    ReplaySession,
     TexturePath,
     make_hmc,
 )
 from repro.gpu.texunit import TextureUnit
 from repro.memory.gddr5 import Gddr5Memory
 from repro.memory.traffic import TrafficMeter
+from repro.texture.cache import TextureCache, _Line
 
 
 class GpuFilteringPath(TexturePath):
@@ -58,6 +63,7 @@ class GpuFilteringPath(TexturePath):
                 compressed=config.texture_compression,
             )
             self.gddr5 = None
+        self._column_cache = None
 
     def serve(self, cluster: int, issue: float, expanded: ExpandedRequest) -> float:
         unit = self.units[cluster]
@@ -70,6 +76,45 @@ class GpuFilteringPath(TexturePath):
             if ready > data_ready:
                 data_ready = ready
         return unit.filter_texels(data_ready, num_texels)
+
+    def serve_batch(
+        self,
+        clusters: Sequence[int],
+        issue: float,
+        expansions: Sequence[ExpandedRequest],
+    ) -> np.ndarray:
+        """Batched twin of :meth:`serve`: a one-shot replay session."""
+        session = self.begin_replay(expansions)
+        served = session.serve_chunk(
+            clusters, issue, list(range(len(expansions)))
+        )
+        session.finish()
+        return np.asarray(served, dtype=np.float64)
+
+    def begin_replay(
+        self, expansions: Sequence[ExpandedRequest]
+    ) -> "_GpuReplaySession":
+        return _GpuReplaySession(self, expansions)
+
+    def _columns_for(
+        self, expansions: Sequence[ExpandedRequest]
+    ) -> "_ReplayColumns":
+        """Per-trace replay columns, memoised on the list's identity.
+
+        The frame frontend replays the *same* expansion list object for
+        the warm-up and the measured pass, so keying on identity lets
+        the measured replay reuse the warm-up's precompute.  Holding the
+        list reference in the cache keeps the ``is`` test sound (the id
+        cannot be recycled while we hold it).  Columns depend only on
+        the expansions and the cache/ALU geometry, both fixed for the
+        path's lifetime, so the cache survives reset_for_measurement.
+        """
+        cached = self._column_cache
+        if cached is not None and cached[0] is expansions:
+            return cached[1]
+        columns = _ReplayColumns(self, expansions)
+        self._column_cache = (expansions, columns)
+        return columns
 
     def activity(self) -> PathActivity:
         activity = PathActivity()
@@ -99,3 +144,252 @@ class GpuFilteringPath(TexturePath):
             self.gddr5.reset()
         if self.hmc is not None:
             self.hmc.reset()
+
+class _ReplayColumns:
+    """Immutable per-trace columns for the GPU-filtering replay session.
+
+    Everything here is a pure function of the expansion list and the
+    cache/ALU geometry, computed as whole-trace numpy expressions and
+    materialised as python lists (the scheduler indexes them one scalar
+    at a time, where list indexing beats ndarray item access).  The
+    arithmetic is lane-for-lane the scalar path's:
+
+    * stage occupancies are the same IEEE-754 division
+      ``texels / ops_per_cycle`` the :class:`ThroughputUnit` performs;
+    * cache set/tag columns replicate ``TextureCache._locate`` --
+      int64 floor division and modulus agree exactly with python ints
+      for the non-negative addresses the expansion produces.
+
+    Columns are memoised per path keyed on the expansion list's
+    *identity* (see :meth:`GpuFilteringPath._columns_for`): the frame
+    frontend replays the same list object for the warm-up and measured
+    passes, so the second replay reuses the first pass's columns.
+    """
+
+    __slots__ = (
+        "texels", "addr_occ", "filt_occ", "pipe_depth", "offsets",
+        "lines", "l1_set", "l1_tag", "l2_set", "l2_tag",
+        "l1_assoc", "l2_assoc",
+    )
+
+    def __init__(
+        self, path: "GpuFilteringPath", expansions: Sequence[ExpandedRequest]
+    ) -> None:
+        gpu = path.config.gpu
+        unit_config = gpu.texture_unit
+        count = len(expansions)
+        texels = np.fromiter(
+            (e.num_conventional_texels for e in expansions),
+            dtype=np.int64, count=count,
+        )
+        texels_float = texels.astype(np.float64)
+        self.texels = texels.tolist()
+        self.addr_occ = (texels_float / float(unit_config.address_alus)).tolist()
+        self.filt_occ = (texels_float / float(unit_config.filter_alus)).tolist()
+        self.pipe_depth = unit_config.pipeline_depth
+
+        line_counts = np.fromiter(
+            (len(e.conventional_lines) for e in expansions),
+            dtype=np.int64, count=count,
+        )
+        total_lines = int(line_counts.sum())
+        lines_flat = np.fromiter(
+            (address for e in expansions for address in e.conventional_lines),
+            dtype=np.int64, count=total_lines,
+        )
+        if total_lines and bool(np.any(lines_flat < 0)):
+            raise ValueError("negative address")
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(line_counts))
+        ).tolist()
+        self.lines = lines_flat.tolist()
+
+        l1, l2 = gpu.l1_cache, gpu.l2_cache
+        l1_lines = lines_flat // l1.line_bytes
+        l2_lines = lines_flat // l2.line_bytes
+        l1_sets, l2_sets = l1.num_sets, l2.num_sets
+        self.l1_set = (l1_lines % l1_sets).tolist()
+        self.l1_tag = (l1_lines // l1_sets).tolist()
+        self.l2_set = (l2_lines % l2_sets).tolist()
+        self.l2_tag = (l2_lines // l2_sets).tolist()
+        self.l1_assoc = l1.associativity
+        self.l2_assoc = l2.associativity
+
+
+class _GpuReplaySession(ReplaySession):
+    """Replay session for the baseline/B-PIM path.
+
+    ``serve_chunk`` is built as a closure in ``__init__`` so that every
+    per-trace constant and every piece of mutable timing state is a cell
+    variable rather than an attribute: the batched scheduler's chunks
+    are usually a single request (cluster clocks drift apart within a
+    few rounds), so per-call attribute-to-local hoisting would cost more
+    than the serving arithmetic itself.
+
+    The serving arithmetic inlines :meth:`GpuFilteringPath.serve`'s
+    call chain (texture-unit stages, L1/L2 lookup, L2 port) operation
+    for operation; only the memory-side line fill stays a live call,
+    because the memory interfaces keep internal channel/link state and
+    traffic accounting of their own.  Mutable counters are seeded from
+    the live objects, folded locally in service order (so float
+    accumulators reproduce the scalar ``+=`` sequence bit for bit), and
+    flushed back by ``finish``.
+    """
+
+    def __init__(
+        self, path: "GpuFilteringPath", expansions: Sequence[ExpandedRequest]
+    ) -> None:
+        super().__init__(path, expansions)
+        columns = path._columns_for(expansions)
+        texels = columns.texels
+        addr_occ = columns.addr_occ
+        filt_occ = columns.filt_occ
+        pipe_depth = columns.pipe_depth
+        offsets = columns.offsets
+        lines = columns.lines
+        l1_set_col, l1_tag_col = columns.l1_set, columns.l1_tag
+        l2_set_col, l2_tag_col = columns.l2_set, columns.l2_tag
+        l1_assoc, l2_assoc = columns.l1_assoc, columns.l2_assoc
+
+        units = path.units
+        caches = path.caches
+        read_line = path.memory.read_line
+
+        addr_next = [unit.address_stage._next_issue for unit in units]
+        addr_busy = [unit.address_stage.busy_cycles for unit in units]
+        filt_next = [unit.filter_stage._next_issue for unit in units]
+        filt_busy = [unit.filter_stage.busy_cycles for unit in units]
+        requests_delta = [0] * len(units)
+        ops_delta = [0] * len(units)
+        l1_hits = [cache.hits for cache in caches.l1]
+        l1_misses = [cache.misses for cache in caches.l1]
+
+        def set_table(cache: TextureCache) -> List[OrderedDict]:
+            # Materialise every set's OrderedDict up front so the hot
+            # loop indexes a list instead of setdefault-ing a dict;
+            # pre-created empty sets are invisible to cache semantics.
+            sets_dict = cache._sets
+            table = []
+            for set_index in range(cache.config.num_sets):
+                entry = sets_dict.get(set_index)
+                if entry is None:
+                    entry = sets_dict[set_index] = OrderedDict()
+                table.append(entry)
+            return table
+
+        l1_by_cluster = [set_table(cache) for cache in caches.l1]
+        l2_table = set_table(caches.l2)
+        l2_hits = caches.l2.hits
+        l2_misses = caches.l2.misses
+        port = caches.l2_port
+        port_next = port._next_free
+        port_bytes = port.total_bytes
+        port_requests = port.total_requests
+        port_busy = port.busy_cycles
+        port_line_bytes = caches.line_bytes
+        port_occ = port_line_bytes / port.bytes_per_cycle
+        port_latency = port.latency
+        make_line = _Line
+
+        def serve_one(cluster: int, issue: float, index: int) -> float:
+            nonlocal port_next, port_bytes, port_requests, port_busy
+            nonlocal l2_hits, l2_misses
+            requests_delta[cluster] += 1
+            num_texels = texels[index]
+            ops_delta[cluster] += num_texels
+            if num_texels:
+                previous = addr_next[cluster]
+                start = issue if issue > previous else previous
+                occupancy = addr_occ[index]
+                done = start + occupancy
+                addr_next[cluster] = done
+                addr_busy[cluster] += occupancy
+                address_done = done + pipe_depth
+            else:
+                address_done = issue
+            data_ready = address_done
+            l1_sets = l1_by_cluster[cluster]
+            for k in range(offsets[index], offsets[index + 1]):
+                cache_set = l1_sets[l1_set_col[k]]
+                tag = l1_tag_col[k]
+                if tag in cache_set:
+                    # An L1 hit is ready at arrival (== address_done),
+                    # which never exceeds data_ready: skip the compare.
+                    cache_set.move_to_end(tag)
+                    l1_hits[cluster] += 1
+                    continue
+                if len(cache_set) >= l1_assoc:
+                    cache_set.popitem(last=False)
+                cache_set[tag] = make_line(tag=tag)
+                l1_misses[cluster] += 1
+                cache_set = l2_table[l2_set_col[k]]
+                tag = l2_tag_col[k]
+                if tag in cache_set:
+                    cache_set.move_to_end(tag)
+                    l2_hits += 1
+                    start = (
+                        address_done
+                        if address_done > port_next
+                        else port_next
+                    )
+                    port_next = start + port_occ
+                    port_bytes += port_line_bytes
+                    port_requests += 1
+                    port_busy += port_occ
+                    ready = port_next + port_latency
+                else:
+                    if len(cache_set) >= l2_assoc:
+                        cache_set.popitem(last=False)
+                    cache_set[tag] = make_line(tag=tag)
+                    l2_misses += 1
+                    ready = read_line(address_done, lines[k])
+                if ready > data_ready:
+                    data_ready = ready
+            if num_texels:
+                previous = filt_next[cluster]
+                start = data_ready if data_ready > previous else previous
+                occupancy = filt_occ[index]
+                done = start + occupancy
+                filt_next[cluster] = done
+                filt_busy[cluster] += occupancy
+                return done + pipe_depth
+            return data_ready
+
+        def serve_chunk(
+            clusters: Sequence[int], issue: float, indices: Sequence[int]
+        ) -> List[float]:
+            return [
+                serve_one(cluster, issue, index)
+                for cluster, index in zip(clusters, indices)
+            ]
+
+        def finish() -> None:
+            from repro.units import Bytes, Cycles, Ops
+
+            for cluster, unit in enumerate(units):
+                activity = unit.activity
+                activity.requests += requests_delta[cluster]
+                ops = ops_delta[cluster]
+                activity.address_ops = Ops(activity.address_ops + ops)
+                activity.filter_ops = Ops(activity.filter_ops + ops)
+                address_stage = unit.address_stage
+                address_stage._next_issue = Cycles(addr_next[cluster])
+                address_stage.busy_cycles = Cycles(addr_busy[cluster])
+                address_stage.total_ops = Ops(address_stage.total_ops + ops)
+                filter_stage = unit.filter_stage
+                filter_stage._next_issue = Cycles(filt_next[cluster])
+                filter_stage.busy_cycles = Cycles(filt_busy[cluster])
+                filter_stage.total_ops = Ops(filter_stage.total_ops + ops)
+                l1 = caches.l1[cluster]
+                l1.hits = l1_hits[cluster]
+                l1.misses = l1_misses[cluster]
+            caches.l2.hits = l2_hits
+            caches.l2.misses = l2_misses
+            port._next_free = Cycles(port_next)
+            port.total_bytes = Bytes(port_bytes)
+            port.total_requests = port_requests
+            port.busy_cycles = Cycles(port_busy)
+
+        self.serve_one = serve_one
+        self.serve_chunk = serve_chunk
+        self.finish = finish

@@ -12,7 +12,9 @@ from __future__ import annotations
 import abc
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.designs import DesignConfig
 from repro.core.expansion import ExpandedRequest
@@ -285,6 +287,53 @@ class PathActivity:
     child_lines_fetched: int = 0
 
 
+class ReplaySession:
+    """Per-replay serving context for the batched scheduler.
+
+    Created by :meth:`TexturePath.begin_replay` with the full expansion
+    list of the frame.  The scheduler calls :meth:`serve_chunk` once per
+    ready timestamp (clusters ascending, the scalar heap's pop order)
+    and :meth:`finish` once at drain time, before any counters are read.
+
+    The base implementation delegates each request to the path's scalar
+    :meth:`TexturePath.serve` -- the correctness fallback.  Paths with a
+    specialised session hoist per-replay constants and precompute
+    per-request columns here instead; overrides must keep the arithmetic
+    bit-identical to the scalar path (the replay parity tests compare
+    the two schedulers end to end).
+    """
+
+    def __init__(
+        self, path: "TexturePath", expansions: Sequence[ExpandedRequest]
+    ) -> None:
+        self.path = path
+        self.expansions = expansions
+
+    def serve_one(self, cluster: int, issue: float, index: int) -> float:
+        """Serve the single request at ``index`` issuing at ``issue``.
+
+        The batched scheduler's rounds are almost always singletons
+        (cluster clocks drift apart within a few cycles), so this is
+        its hot entry point; :meth:`serve_chunk` handles the rare
+        multi-cluster rounds.  Both must produce the identical scalar
+        service sequence.
+        """
+        return self.path.serve(cluster, issue, self.expansions[index])
+
+    def serve_chunk(
+        self, clusters: Sequence[int], issue: float, indices: Sequence[int]
+    ) -> List[float]:
+        """Serve the requests at ``indices``, all issuing at ``issue``."""
+        serve_one = self.serve_one
+        return [
+            serve_one(cluster, issue, index)
+            for cluster, index in zip(clusters, indices)
+        ]
+
+    def finish(self) -> None:
+        """Flush any locally accumulated counters back to the path."""
+
+
 class TexturePath(abc.ABC):
     """Interface every design's texture path implements."""
 
@@ -295,6 +344,44 @@ class TexturePath(abc.ABC):
     @abc.abstractmethod
     def serve(self, cluster: int, issue: float, expanded: ExpandedRequest) -> float:
         """Serve one request; return the completion cycle at the shader."""
+
+    def serve_batch(
+        self,
+        clusters: Sequence[int],
+        issue: float,
+        expansions: Sequence[ExpandedRequest],
+    ) -> np.ndarray:
+        """Serve several requests that all issue at the same cycle.
+
+        ``clusters`` must be sorted ascending -- the batched replay
+        scheduler drains clusters ready at one timestamp in ascending
+        order, which is exactly the order the scalar heap loop pops
+        equal-time entries, so shared resources (L2 port, links, memory
+        channels) observe arrivals in the identical sequence either way.
+        Returns completion cycles in the same order.
+
+        The default walks :meth:`serve` per request: the correctness
+        fallback for paths without a specialised batch implementation.
+        Overrides must keep the per-request arithmetic bit-identical to
+        :meth:`serve` -- the replay parity tests compare the two.
+        """
+        completions = np.empty(len(expansions), dtype=np.float64)
+        for index, (cluster, expanded) in enumerate(zip(clusters, expansions)):
+            completions[index] = self.serve(cluster, issue, expanded)
+        return completions
+
+    def begin_replay(
+        self, expansions: Sequence[ExpandedRequest]
+    ) -> ReplaySession:
+        """Open a serving session for one replay of ``expansions``.
+
+        The batched scheduler serves every request of a replay through
+        one session, letting path implementations precompute per-request
+        columns (texel counts, stage occupancies, cache set/tag address
+        math) as whole-trace numpy expressions and keep hot counters in
+        locals until :meth:`ReplaySession.finish`.
+        """
+        return ReplaySession(self, expansions)
 
     @abc.abstractmethod
     def activity(self) -> PathActivity:

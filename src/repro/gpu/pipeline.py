@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.expansion import ExpandedRequest, RequestExpander
 from repro.core.paths import CacheHierarchyStats, PathActivity, TexturePath
 from repro.gpu.config import GPUConfig
@@ -134,32 +136,76 @@ class FrameResult:
 
 
 class GpuPipeline:
-    """Simulates whole frames given a texture path."""
+    """Simulates whole frames given a texture path.
 
-    def __init__(self, config: GPUConfig) -> None:
+    ``batched_replay`` (the default) drains all heap events ready at one
+    timestamp as a numpy chunk through ``path.serve_batch``; the scalar
+    one-event-at-a-time heap loop is retained as the oracle the batched
+    scheduler is parity-tested against (``tests/gpu/test_replay_batch``).
+    """
+
+    def __init__(self, config: GPUConfig, batched_replay: bool = True) -> None:
         self.config = config
+        self.batched_replay = batched_replay
+        self._partition_cache = None
 
-    def assign_clusters(self, trace: FragmentTrace) -> List[int]:
+    def assign_clusters(self, trace: FragmentTrace) -> np.ndarray:
         """Bind each request to a shader cluster by tile, round-robin.
 
         Fragment tiles are the rasterizer's work units (section II-A);
         distributing tiles round-robin across clusters is the baseline
         architecture's load-balancing policy and keeps a tile's texel
-        locality within one L1.
+        locality within one L1.  Pure integer tile math, evaluated as
+        one numpy expression over the gathered tile columns.
         """
         tile_size = trace.tile_size
         tiles_x = max(1, (trace.width + tile_size - 1) // tile_size)
-        assignments = []
-        for request in trace.requests:  # repro: noqa(REP400) -- AoS trace order is the replay contract; O(n) integer bookkeeping, no per-element float math
-            tile_index = request.tile_y * tiles_x + request.tile_x
-            assignments.append(tile_index % self.config.num_clusters)
-        return assignments
+        num_requests = len(trace.requests)
+        tile_x = np.fromiter(
+            (request.tile_x for request in trace.requests),
+            dtype=np.int64, count=num_requests,
+        )
+        tile_y = np.fromiter(
+            (request.tile_y for request in trace.requests),
+            dtype=np.int64, count=num_requests,
+        )
+        return (tile_y * tiles_x + tile_x) % self.config.num_clusters
+
+    def _partition(
+        self, trace: FragmentTrace
+    ) -> tuple[List[List[int]], List[int]]:
+        """Split the request stream per cluster, preserving order.
+
+        Returns per-cluster lists of request *indices* (into the trace
+        and its expansion list) plus per-cluster fragment counts.
+
+        Memoised on the trace's identity: the warm-up and measured
+        replays of one frame partition the same trace object, and the
+        partition is read-only to both schedulers.
+        """
+        cached = self._partition_cache
+        if cached is not None and cached[0] is trace:
+            return cached[1]
+        config = self.config
+        assignments = self.assign_clusters(trace).tolist()
+        per_cluster: List[List[int]] = [
+            [] for _ in range(config.num_clusters)
+        ]
+        for request_index, cluster in enumerate(assignments):
+            per_cluster[cluster].append(request_index)
+        fragments_per_cluster = [
+            len(stream) for stream in per_cluster
+        ]
+        result = (per_cluster, fragments_per_cluster)
+        self._partition_cache = (trace, result)
+        return result
 
     def replay_texture_stream(
         self,
         trace: FragmentTrace,
         expanded: Sequence[ExpandedRequest],
         path: TexturePath,
+        batched: Optional[bool] = None,
     ) -> tuple[float, LatencyHistogram, List[int]]:
         """Replay all texture requests through a texture path.
 
@@ -167,24 +213,30 @@ class GpuPipeline:
         issue until the request ``max_inflight`` positions earlier has
         completed (finite latency-hiding depth).  Returns the texture
         makespan, the latency histogram, and per-cluster fragment counts.
+
+        ``batched=None`` defers to the pipeline's ``batched_replay``
+        default; the batched and scalar schedulers are bit-identical.
         """
+        if batched is None:
+            batched = self.batched_replay
+        if batched:
+            return self._replay_batched(trace, expanded, path)
+        return self._replay_scalar(trace, expanded, path)
+
+    def _replay_scalar(
+        self,
+        trace: FragmentTrace,
+        expanded: Sequence[ExpandedRequest],
+        path: TexturePath,
+    ) -> tuple[float, LatencyHistogram, List[int]]:
+        """One-event-at-a-time heap replay: the scheduling oracle."""
         import heapq
 
         config = self.config
-        assignments = self.assign_clusters(trace)
         histogram = LatencyHistogram("texture_latency")
         depth = config.max_inflight_texture_requests
-        fragments_per_cluster = [0] * config.num_clusters
         makespan = 0.0
-
-        # Partition the request stream per cluster, preserving order.
-        per_cluster: List[List[ExpandedRequest]] = [
-            [] for _ in range(config.num_clusters)
-        ]
-        for request_index, expansion in enumerate(expanded):
-            cluster = assignments[request_index]
-            per_cluster[cluster].append(expansion)
-            fragments_per_cluster[cluster] += 1
+        per_cluster, fragments_per_cluster = self._partition(trace)
 
         # Event-ordered replay: always serve the cluster whose next
         # request issues earliest, so shared resources (L2 port, links,
@@ -205,14 +257,14 @@ class GpuPipeline:
             if per_cluster[cluster]:
                 heapq.heappush(heap, (next_issue(cluster), cluster))
 
-        while heap:  # repro: noqa(REP400) -- event-ordered replay is the cycle model's semantic core; the ROADMAP tracks batching ready events per timestamp
+        while heap:  # repro: noqa(REP400) -- scalar scheduling oracle: the batched per-timestamp drain in _replay_batched is parity-tested against exactly this loop
             issue, cluster = heapq.heappop(heap)
             current = next_issue(cluster)
             if current > issue:
                 # Window state changed since this entry was pushed.
                 heapq.heappush(heap, (current, cluster))
                 continue
-            expansion = per_cluster[cluster][cursor[cluster]]
+            expansion = expanded[per_cluster[cluster][cursor[cluster]]]
             cursor[cluster] += 1
             completion = path.serve(cluster, issue, expansion)
             if completion < issue:
@@ -228,6 +280,137 @@ class GpuPipeline:
             if cursor[cluster] < len(per_cluster[cluster]):
                 heapq.heappush(heap, (next_issue(cluster), cluster))
 
+        return makespan, histogram, fragments_per_cluster
+
+    def _replay_batched(
+        self,
+        trace: FragmentTrace,
+        expanded: Sequence[ExpandedRequest],
+        path: TexturePath,
+    ) -> tuple[float, LatencyHistogram, List[int]]:
+        """Per-timestamp chunked replay, bit-identical to the oracle.
+
+        All events ready at the minimum next-issue time are drained as
+        one chunk through the path's replay session.  Why chunking
+        preserves the heap schedule: serving cluster ``c`` at time ``t``
+        mutates only ``c``'s own clock and inflight window, so the
+        ready set at ``t`` is fixed the moment ``t`` becomes the
+        minimum next-issue time.  The scalar heap pops equal-time
+        entries in ascending cluster order; draining the ready set in
+        ascending cluster order therefore issues the exact same
+        (time, cluster) service sequence to the shared resources.
+
+        The vectorization lives where the data is wide, not in the
+        (inherently sequential, 16-entry) scheduler state: per-request
+        columns are precomputed by :meth:`TexturePath.begin_replay` as
+        whole-trace numpy expressions, and the latency histogram and
+        makespan are reduced at drain time from the event-ordered
+        completion log -- ``observe_batch``'s cumsum-based fold is
+        bit-identical to per-event ``observe``, and float max is
+        order-independent.  Profiling drove this split: ready sets are
+        singletons in steady state (cluster clocks drift apart after
+        the first few cycles), so numpy state arrays per round cost
+        more than they save.
+        """
+        config = self.config
+        num_clusters = config.num_clusters
+        histogram = LatencyHistogram("texture_latency")
+        depth = config.max_inflight_texture_requests
+        per_cluster, fragments_per_cluster = self._partition(trace)
+
+        lengths = [len(stream) for stream in per_cluster]
+        remaining = sum(lengths)
+        if remaining == 0:
+            return 0.0, histogram, fragments_per_cluster
+
+        session = path.begin_replay(expanded)
+        serve_one = session.serve_one
+        serve_chunk = session.serve_chunk
+        infinity = float("inf")
+        cursor = [0] * num_clusters
+        inflight: List[List[float]] = [[] for _ in range(num_clusters)]
+        # ready_at[c] is always fresh (recomputed after each serve), so
+        # no stale-entry revalidation is needed: the scalar heap's
+        # re-pushed entries resolve to these same fresh values -- and
+        # the per-cluster clock (issue + 1) folds into ready_at too.
+        ready_at = [
+            0.0 if lengths[cluster] else infinity
+            for cluster in range(num_clusters)
+        ]
+        completion_log: List[float] = []
+        round_times: List[float] = []
+        round_sizes: List[int] = []
+
+        while remaining:
+            now = min(ready_at)
+            if ready_at.count(now) == 1:
+                # Steady-state fast path: cluster clocks drift apart
+                # after the first few cycles, so nearly every round
+                # serves exactly one cluster.
+                cluster = ready_at.index(now)
+                position = cursor[cluster]
+                completion = serve_one(
+                    cluster, now, per_cluster[cluster][position]
+                )
+                completion_log.append(completion)
+                round_times.append(now)
+                round_sizes.append(1)
+                window = inflight[cluster]
+                window.append(completion)
+                if len(window) > depth:
+                    del window[0]
+                position += 1
+                cursor[cluster] = position
+                next_time = now + 1.0
+                if position < lengths[cluster]:
+                    gate = window[-depth] if len(window) >= depth else 0.0
+                    ready_at[cluster] = (
+                        gate if gate > next_time else next_time
+                    )
+                else:
+                    ready_at[cluster] = infinity
+                remaining -= 1
+                continue
+            ready = [
+                cluster
+                for cluster in range(num_clusters)
+                if ready_at[cluster] == now
+            ]
+            indices = [
+                per_cluster[cluster][cursor[cluster]] for cluster in ready
+            ]
+            served = serve_chunk(ready, now, indices)
+            completion_log.extend(served)
+            round_times.append(now)
+            round_sizes.append(len(ready))
+            next_time = now + 1.0
+            for cluster, completion in zip(ready, served):
+                window = inflight[cluster]
+                window.append(completion)
+                if len(window) > depth:
+                    del window[0]
+                position = cursor[cluster] + 1
+                cursor[cluster] = position
+                if position < lengths[cluster]:
+                    gate = window[-depth] if len(window) >= depth else 0.0
+                    ready_at[cluster] = (
+                        gate if gate > next_time else next_time
+                    )
+                else:
+                    ready_at[cluster] = infinity
+            remaining -= len(ready)
+
+        session.finish()
+        completions = np.asarray(completion_log, dtype=np.float64)  # repro: noqa(REP403) -- round count is data-dependent (each round's ready set depends on prior completions), so the log cannot be preallocated; one conversion at drain end
+        issues = np.repeat(
+            np.asarray(round_times, dtype=np.float64),  # repro: noqa(REP403) -- grows one entry per scheduling round, not per fragment; size unknown until the drain terminates
+            np.asarray(round_sizes, dtype=np.int64),  # repro: noqa(REP403) -- ditto; paired with round_times to expand per-round issue times to per-fragment
+        )
+        latencies = completions - issues
+        if bool(np.any(latencies < 0)):
+            raise RuntimeError("texture path completed before issue")
+        histogram.observe_batch(latencies)
+        makespan = float(np.max(completions))
         return makespan, histogram, fragments_per_cluster
 
     def simulate_frame(

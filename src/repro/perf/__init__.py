@@ -7,21 +7,28 @@ is the one subpackage exempt from the REP102 wall-clock lint rule.
 ``python -m repro bench`` drives :func:`repro.perf.bench.run_bench`,
 which times trace generation, the batched-vs-scalar sampler paths, and a
 figure-suite slice through the cached experiment runner, then writes
-``BENCH_sampling.json`` and ``BENCH_runner.json``.
+``BENCH_sampling.json``, ``BENCH_frame.json`` and ``BENCH_runner.json``.
 """
 
+from repro.perf.parity import PARITY_MATH_FILENAME, run_parity
 from repro.perf.bench import (
+    BENCH_FRAME_FILENAME,
     BENCH_RUNNER_FILENAME,
     BENCH_SAMPLING_FILENAME,
+    bench_frame,
     bench_runner,
     bench_sampling,
     run_bench,
 )
 
 __all__ = [
+    "BENCH_FRAME_FILENAME",
     "BENCH_RUNNER_FILENAME",
     "BENCH_SAMPLING_FILENAME",
+    "PARITY_MATH_FILENAME",
+    "bench_frame",
     "bench_runner",
     "bench_sampling",
     "run_bench",
+    "run_parity",
 ]

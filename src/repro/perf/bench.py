@@ -15,6 +15,13 @@ Three benchmarks, written as machine-readable JSON at the repo root:
     fixed numeric kernel timed bare vs wrapped in ``timed_stage`` with
     ``REPRO_TRACE`` off.  The wrapped path must stay within noise of
     the bare one (the zero-overhead-when-disabled contract).
+``BENCH_frame.json``
+    The whole-frame hot path per workload: trace generation (vectorized
+    SoA rasterizer vs the scalar AoS oracle) and the texture replay
+    (batched per-timestamp drain vs the scalar heap scheduler), timed
+    cold (warm-up replay against empty caches) and warm (measured replay
+    against warmed caches), with an end-result identity check on the
+    makespan, latency histogram, per-cluster counts, and traffic.
 ``BENCH_lint.json``
     The static-analysis pass (four rule families over the whole repo)
     serial vs fanned out over :func:`repro.faults.run_fanout`, with a
@@ -44,6 +51,7 @@ BENCH_SAMPLING_FILENAME = "BENCH_sampling.json"
 BENCH_RUNNER_FILENAME = "BENCH_runner.json"
 BENCH_TRACING_FILENAME = "BENCH_tracing.json"
 BENCH_LINT_FILENAME = "BENCH_lint.json"
+BENCH_FRAME_FILENAME = "BENCH_frame.json"
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -165,6 +173,167 @@ def bench_sampling(
             "geomean_exact_speedup": _geomean(exact_speedups),
             "bit_identical": all(
                 w["exact"]["bit_identical"] and w["isotropic"]["bit_identical"]
+                for w in workload_results
+            ),
+        },
+    }
+
+
+def bench_frame(
+    workload_names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Time the whole-frame hot path: trace + replay, scalar vs vectorized.
+
+    Per workload, the two phases the per-fragment/per-event scalar code
+    used to dominate are each timed both ways (best of ``repeats``):
+
+    * *trace*: rasterization into texture requests, through the scalar
+      AoS fragment loop vs the columnar :class:`FragmentBatch` path;
+    * *replay*: the baseline design's texture replay, through the scalar
+      heap scheduler vs the batched per-timestamp drain -- split into
+      the cold warm-up replay (compulsory misses, session precompute)
+      and the warm measured replay (steady-state caches, memoised
+      columns), matching ``simulate_frame``'s warm-up protocol.
+
+    Request expansion is shared by both schedulers and excluded.  Every
+    pairing is checked for end-result identity: equal request streams
+    out of the rasterizer, and equal makespan / latency histogram /
+    per-cluster counts / external traffic out of the replay.
+    """
+    from repro.core import Design
+    from repro.core.designs import DesignConfig
+    from repro.core.expansion import RequestExpander
+    from repro.core.frontend import make_texture_path
+    from repro.experiments.cache import source_version
+    from repro.experiments.runner import FAST_WORKLOADS
+    from repro.gpu.pipeline import GpuPipeline
+    from repro.memory.traffic import TrafficMeter
+    from repro.workloads import workload_by_name
+
+    def replay_snapshot(makespan, histogram, counts, traffic):
+        return {
+            "makespan": makespan,
+            "latency_count": histogram.count,
+            "latency_total": float(histogram.total),
+            "latency_max": float(histogram.max_latency),
+            "latency_buckets": list(histogram.buckets),
+            "per_cluster": list(counts),
+            "external_bytes": float(traffic.external_total),
+        }
+
+    names = list(workload_names or FAST_WORKLOADS)
+    rounds = max(1, repeats)
+    workload_results: List[Dict[str, Any]] = []
+    for name in names:
+        workload = workload_by_name(name)
+        built = workload.build()
+
+        trace_seconds = {"scalar": float("inf"), "batched": float("inf")}
+        outputs: Dict[str, Any] = {}
+        for _ in range(rounds):
+            for mode in ("scalar", "batched"):
+                renderer = workload.make_renderer()
+                renderer.rasterizer.vectorized = mode == "batched"
+                started = time.perf_counter()
+                outputs[mode] = renderer.trace_only(built.scene, built.camera)
+                trace_seconds[mode] = min(
+                    trace_seconds[mode], time.perf_counter() - started
+                )
+        trace = outputs["batched"].trace
+        trace_identical = (
+            outputs["scalar"].trace.requests == trace.requests
+        )
+
+        config = DesignConfig(design=Design.BASELINE)
+        expander = RequestExpander(built.scene)
+        expanded = [expander.expand(request) for request in trace.requests]
+
+        cold_seconds = {"scalar": float("inf"), "batched": float("inf")}
+        warm_seconds = {"scalar": float("inf"), "batched": float("inf")}
+        snapshots: Dict[str, Any] = {}
+        for _ in range(rounds):
+            for mode in ("scalar", "batched"):
+                batched = mode == "batched"
+                traffic = TrafficMeter()
+                path = make_texture_path(config, traffic)
+                pipeline = GpuPipeline(config.gpu, batched_replay=batched)
+                started = time.perf_counter()
+                pipeline.replay_texture_stream(trace, expanded, path)
+                cold_seconds[mode] = min(
+                    cold_seconds[mode], time.perf_counter() - started
+                )
+                path.reset_for_measurement()
+                traffic.reset()
+                started = time.perf_counter()
+                makespan, histogram, counts = pipeline.replay_texture_stream(
+                    trace, expanded, path
+                )
+                warm_seconds[mode] = min(
+                    warm_seconds[mode], time.perf_counter() - started
+                )
+                snapshots[mode] = replay_snapshot(
+                    makespan, histogram, counts, traffic
+                )
+
+        scalar_total = (
+            trace_seconds["scalar"]
+            + cold_seconds["scalar"]
+            + warm_seconds["scalar"]
+        )
+        batched_total = (
+            trace_seconds["batched"]
+            + cold_seconds["batched"]
+            + warm_seconds["batched"]
+        )
+        workload_results.append({
+            "name": name,
+            "requests": len(trace.requests),
+            "design": Design.BASELINE.value,
+            "trace": {
+                "scalar_seconds": trace_seconds["scalar"],
+                "batch_seconds": trace_seconds["batched"],
+                "speedup_vs_scalar": _speedup(
+                    trace_seconds["scalar"], trace_seconds["batched"]
+                ),
+                "identical_requests": trace_identical,
+            },
+            "replay": {
+                "scalar_cold_seconds": cold_seconds["scalar"],
+                "scalar_warm_seconds": warm_seconds["scalar"],
+                "batch_cold_seconds": cold_seconds["batched"],
+                "batch_warm_seconds": warm_seconds["batched"],
+                "speedup_cold": _speedup(
+                    cold_seconds["scalar"], cold_seconds["batched"]
+                ),
+                "speedup_warm": _speedup(
+                    warm_seconds["scalar"], warm_seconds["batched"]
+                ),
+                "identical_results": snapshots["scalar"]
+                == snapshots["batched"],
+                "result": snapshots["batched"],
+            },
+            "total": {
+                "scalar_seconds": scalar_total,
+                "batch_seconds": batched_total,
+                "speedup_vs_scalar": _speedup(scalar_total, batched_total),
+            },
+        })
+
+    total_speedups = [
+        w["total"]["speedup_vs_scalar"] for w in workload_results
+    ]
+    return {
+        "schema": "repro-bench-frame/1",
+        "source_version": source_version(),
+        "repeats": rounds,
+        "workloads": workload_results,
+        "summary": {
+            "min_total_speedup": min(total_speedups),
+            "geomean_total_speedup": _geomean(total_speedups),
+            "identical": all(
+                w["trace"]["identical_requests"]
+                and w["replay"]["identical_results"]
                 for w in workload_results
             ),
         },
@@ -370,15 +539,17 @@ def run_bench(
     jobs: Optional[int] = None,
     min_speedup: float = 1.0,
     lint_min_speedup: float = 0.0,
+    frame_min_speedup: float = 1.0,
     output_dir: str = ".",
 ) -> int:
-    """Run both benchmarks, write the JSON files, gate on ``min_speedup``.
+    """Run the benchmarks, write the JSON files, gate on the speedups.
 
     ``fast`` restricts to a single workload (the CI smoke
     configuration); the default covers the whole ``FAST_WORKLOADS``
     set.  Returns a non-zero exit code when the batched exact sampler's
-    slowest per-workload speedup falls below ``min_speedup`` or any
-    output fails the bit-identity check.
+    slowest per-workload speedup falls below ``min_speedup``, the
+    whole-frame trace+replay speedup falls below ``frame_min_speedup``,
+    or any output fails the bit-identity check.
     """
     from repro.experiments.runner import FAST_WORKLOADS
 
@@ -403,6 +574,26 @@ def run_bench(
     )
     print(f"wrote {sampling_path}")
 
+    frame = bench_frame(names)
+    frame_path = out / BENCH_FRAME_FILENAME
+    frame_path.write_text(json.dumps(frame, indent=2) + "\n")
+    for workload in frame["workloads"]:
+        replay = workload["replay"]
+        print(
+            f"{workload['name']:24s} frame "
+            f"{workload['total']['speedup_vs_scalar']:5.1f}x  "
+            f"(trace {workload['trace']['speedup_vs_scalar']:.1f}x, "
+            f"replay cold {replay['speedup_cold']:.1f}x / "
+            f"warm {replay['speedup_warm']:.1f}x)"
+        )
+    frame_summary = frame["summary"]
+    print(
+        f"frame speedup: min {frame_summary['min_total_speedup']:.1f}x, "
+        f"geomean {frame_summary['geomean_total_speedup']:.1f}x, "
+        f"identical results: {frame_summary['identical']}"
+    )
+    print(f"wrote {frame_path}")
+
     runner = bench_runner(names, jobs=jobs)
     runner_path = out / BENCH_RUNNER_FILENAME
     runner_path.write_text(json.dumps(runner, indent=2) + "\n")
@@ -425,6 +616,20 @@ def run_bench(
         f"per {tracing['calls']} calls)"
     )
     print(f"wrote {tracing_path}")
+
+    from repro.perf.parity import PARITY_MATH_FILENAME, run_parity
+
+    parity = run_parity()
+    parity_path = out / PARITY_MATH_FILENAME
+    parity_path.write_text(json.dumps(parity, indent=2) + "\n")
+    for fn in parity["functions"]:
+        print(
+            f"parity {fn['function']:6s} libm divergence "
+            f"{fn['libm_divergence_rate'] * 100:6.3f}% "
+            f"(max {fn['libm_max_ulp']} ulp), batch-invariant: "
+            f"{fn['batch_invariant']}"
+        )
+    print(f"wrote {parity_path}")
 
     lint = bench_lint(jobs=jobs)
     lint_path = out / BENCH_LINT_FILENAME
@@ -449,6 +654,26 @@ def run_bench(
         print(
             f"FAIL: batched sampler speedup {summary['min_exact_speedup']:.2f}x "
             f"below required {min_speedup:.2f}x"
+        )
+        return 1
+    if not frame_summary["identical"]:
+        print(
+            "FAIL: vectorized frame path is not bit-identical to the "
+            "scalar oracle (trace requests or replay results differ)"
+        )
+        return 1
+    if frame_summary["min_total_speedup"] < frame_min_speedup:
+        print(
+            f"FAIL: whole-frame speedup "
+            f"{frame_summary['min_total_speedup']:.2f}x below required "
+            f"{frame_min_speedup:.2f}x"
+        )
+        return 1
+    if not parity["summary"]["batch_invariant"]:
+        print(
+            "FAIL: numpy ufunc results depend on batch shape -- the "
+            "canonical-kernel bit-identity strategy is unsound on this "
+            "toolchain (see PARITY_math.json)"
         )
         return 1
     if not lint["identical_findings"]:

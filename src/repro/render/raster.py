@@ -32,7 +32,12 @@ import numpy as np
 from repro.render.camera import Camera
 from repro.render.framebuffer import Framebuffer
 from repro.render.scene import Scene, TexturedTriangle
-from repro.texture.lod import compute_footprint, camera_angle_from_normal
+from repro.texture import npmath
+from repro.texture.lod import (
+    camera_angle_from_normal,
+    compute_footprint,
+    compute_footprint_batch,
+)
 from repro.texture.requests import TextureRequest
 
 
@@ -51,6 +56,63 @@ class RasterFragment:
     dvdy: float
     camera_angle: float
     texture_id: int
+
+
+@dataclass(frozen=True)
+class FragmentBatch:
+    """SoA fragment stream: one scanned triangle's fragments as columns.
+
+    The vectorized rasterizer emits these directly -- numpy arrays for
+    pixel position, depth, texture coordinates, derivatives and camera
+    angle -- so footprint math and request generation stay batched all
+    the way to the expander's AoS bridge.  :meth:`to_fragments` is the
+    adapter back to :class:`RasterFragment` rows, bit-identical to what
+    the scalar oracle path emits.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    depth: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    dudx: np.ndarray
+    dvdx: np.ndarray
+    dudy: np.ndarray
+    dvdy: np.ndarray
+    camera_angle: np.ndarray
+    texture_id: int
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @classmethod
+    def empty(cls, texture_id: int) -> "FragmentBatch":
+        ints = np.empty(0, dtype=np.int64)
+        floats = np.empty(0, dtype=np.float64)
+        return cls(
+            x=ints, y=ints, depth=floats, u=floats, v=floats,
+            dudx=floats, dvdx=floats, dudy=floats, dvdy=floats,
+            camera_angle=floats, texture_id=texture_id,
+        )
+
+    def to_fragments(self) -> List[RasterFragment]:
+        """AoS adapter: materialise the columns as fragment rows."""
+        return [
+            RasterFragment(
+                x=int(self.x[index]),
+                y=int(self.y[index]),
+                depth=float(self.depth[index]),
+                u=float(self.u[index]),
+                v=float(self.v[index]),
+                dudx=float(self.dudx[index]),
+                dvdx=float(self.dvdx[index]),
+                dudy=float(self.dudy[index]),
+                dvdy=float(self.dvdy[index]),
+                camera_angle=float(self.camera_angle[index]),
+                texture_id=self.texture_id,
+            )
+            for index in range(len(self.x))
+        ]
 
 
 @dataclass
@@ -127,24 +189,124 @@ class Rasterizer:
         later triangles are early-Z culled against earlier ones (the
         returned list still contains fragments that are later overdrawn,
         exactly as a real immediate-mode pipeline would shade them).
+
+        When ``vectorized`` (the default), the fragment stream flows as
+        :class:`FragmentBatch` columns with batched footprint math; this
+        method then materialises the AoS pairs at the end.  Callers that
+        only need requests should use :meth:`trace_requests`, which skips
+        the :class:`RasterFragment` materialisation entirely.
         """
+        if self.vectorized:
+            results: List[Tuple[RasterFragment, TextureRequest]] = []
+            for batch in self.rasterize_batches(scene, camera, framebuffer):
+                results.extend(
+                    zip(batch.to_fragments(), self.requests_from_batch(batch))
+                )
+            return results
         self.stats = RasterStats()
         width, height = framebuffer.width, framebuffer.height
         view_projection = camera.view_projection(width, height)
-        results: List[Tuple[RasterFragment, TextureRequest]] = []
+        results = []
         for triangle in scene.triangles:
             self.stats.triangles_submitted += 1
             texture = scene.textures[triangle.texture_id]
-            fragments = self._rasterize_triangle(
+            emissions = self._rasterize_triangle(
                 triangle, texture.width, texture.height,
                 view_projection, camera, framebuffer,
             )
+            fragments = [f for emission in emissions for f in emission]
             if fragments:
                 self.stats.triangles_rasterized += 1
-            for fragment in fragments:  # repro: noqa(REP400) -- AoS emission order is the fragment contract; the ROADMAP tracks the SoA fragment stream
+            for fragment in fragments:  # repro: noqa(REP400) -- this IS the scalar-oracle emission the SoA FragmentBatch path is parity-tested against
                 request = self._fragment_to_request(fragment)
                 results.append((fragment, request))
         return results
+
+    def rasterize_batches(
+        self,
+        scene: Scene,
+        camera: Camera,
+        framebuffer: Framebuffer,
+    ) -> List[FragmentBatch]:
+        """Rasterize every triangle into SoA :class:`FragmentBatch` columns.
+
+        The vectorized entry point: fragments never exist as Python
+        objects here -- each scanned triangle contributes one columnar
+        batch in submission order, and the early-Z depth buffer is
+        updated exactly as in the scalar path.
+        """
+        if not self.vectorized:
+            raise ValueError(
+                "rasterize_batches requires the vectorized rasterizer; "
+                "the scalar oracle emits through rasterize_scene"
+            )
+        self.stats = RasterStats()
+        width, height = framebuffer.width, framebuffer.height
+        view_projection = camera.view_projection(width, height)
+        batches: List[FragmentBatch] = []
+        for triangle in scene.triangles:
+            self.stats.triangles_submitted += 1
+            texture = scene.textures[triangle.texture_id]
+            emissions = self._rasterize_triangle(
+                triangle, texture.width, texture.height,
+                view_projection, camera, framebuffer,
+            )
+            if any(len(batch) for batch in emissions):
+                self.stats.triangles_rasterized += 1
+            batches.extend(batch for batch in emissions if len(batch))
+        return batches
+
+    def trace_requests(
+        self,
+        scene: Scene,
+        camera: Camera,
+        framebuffer: Framebuffer,
+    ) -> List[TextureRequest]:
+        """Rasterize and return only the texture requests (trace path).
+
+        The fast path for the cycle model: with the vectorized rasterizer
+        the SoA batches go straight to batched footprint math and request
+        materialisation, skipping :class:`RasterFragment` entirely.  The
+        scalar oracle produces the identical request list through the
+        per-fragment path.
+        """
+        if not self.vectorized:
+            return [
+                request
+                for _, request in self.rasterize_scene(scene, camera, framebuffer)
+            ]
+        requests: List[TextureRequest] = []
+        for batch in self.rasterize_batches(scene, camera, framebuffer):
+            requests.extend(self.requests_from_batch(batch))
+        return requests
+
+    def requests_from_batch(self, batch: FragmentBatch) -> List[TextureRequest]:
+        """Turn one SoA batch into texture requests with batched math.
+
+        Footprints (hypot/log2 heavy) and tile coordinates are computed
+        as whole columns; the final loop only materialises the frozen
+        :class:`TextureRequest` rows the per-request expander consumes.
+        """
+        footprints = compute_footprint_batch(
+            batch.dudx, batch.dvdx, batch.dudy, batch.dvdy,
+            max_anisotropy=self.max_anisotropy, lod_bias=self.lod_bias,
+        )
+        tiles_x = batch.x // self.tile_size
+        tiles_y = batch.y // self.tile_size
+        return [  # repro: noqa(REP400) -- AoS bridge to the per-request expander: frozen-dataclass materialisation only, every float column above is batched
+            TextureRequest(
+                pixel_x=int(batch.x[index]),
+                pixel_y=int(batch.y[index]),
+                texture_id=batch.texture_id,
+                u=float(batch.u[index]),
+                v=float(batch.v[index]),
+                footprint=footprints.footprint(index),
+                camera_angle=float(batch.camera_angle[index]),
+                tile_x=int(tiles_x[index]),
+                tile_y=int(tiles_y[index]),
+            )
+            for index in range(len(batch))
+        ]
 
     def _fragment_to_request(self, fragment: RasterFragment) -> TextureRequest:
         footprint = compute_footprint(
@@ -171,7 +333,13 @@ class Rasterizer:
         view_projection: np.ndarray,
         camera: Camera,
         framebuffer: Framebuffer,
-    ) -> List[RasterFragment]:
+    ) -> List:
+        """Clip and scan one triangle; return per-fan-triangle emissions.
+
+        Each element is what the selected emitter produced for one fan
+        triangle: a :class:`FragmentBatch` (vectorized) or a list of
+        :class:`RasterFragment` (scalar oracle).
+        """
         width, height = framebuffer.width, framebuffer.height
 
         # --- geometry: transform, clip, project ------------------------
@@ -202,16 +370,16 @@ class Rasterizer:
             return []
 
         normal = triangle.normal
-        fragments: List[RasterFragment] = []
+        emissions: List = []
         # Fan-triangulate the clipped polygon.
         for fan in range(1, len(clipped) - 1):
             trio = [clipped[0], clipped[fan], clipped[fan + 1]]
-            fragments.extend(
+            emissions.append(
                 self._scan_convex_triangle(
                     trio, normal, triangle.texture_id, camera, framebuffer
                 )
             )
-        return fragments
+        return emissions
 
     def _scan_convex_triangle(
         self,
@@ -220,7 +388,13 @@ class Rasterizer:
         texture_id: int,
         camera: Camera,
         framebuffer: Framebuffer,
-    ) -> List[RasterFragment]:
+    ):
+        """Scan one convex screen triangle through the selected emitter.
+
+        Returns a :class:`FragmentBatch` (vectorized) or a list of
+        :class:`RasterFragment` (scalar); degenerate triangles yield an
+        empty list either way.
+        """
         width, height = framebuffer.width, framebuffer.height
 
         # Screen coordinates (pixel centres at integer + 0.5).
@@ -403,19 +577,23 @@ class Rasterizer:
         texture_id: int,
         camera: Camera,
         framebuffer: Framebuffer,
-    ) -> List[RasterFragment]:
+    ) -> FragmentBatch:
         """Batched fragment emission: interpolation, early-Z and the
-        analytic derivatives as whole-array operations.
+        analytic derivatives as whole-array operations, emitted as one
+        SoA :class:`FragmentBatch`.
 
         Bit-identical to :meth:`_emit_fragments_scalar`: every
         arithmetic step is the same IEEE-754 expression applied
         elementwise, pixels within one triangle are unique (so the
-        vectorised early-Z equals the sequential test), and the one
-        libm call whose numpy counterpart differs in the last ulp on
-        some platforms (``acos``) stays a per-fragment ``math.acos``.
+        vectorised early-Z equals the sequential test), and the camera
+        angle's arc cosine is the same canonical ``np.arccos`` kernel
+        the scalar oracle calls through :mod:`repro.texture.npmath`
+        (divergence from libm is measured and recorded in
+        ``PARITY_math.json``; both paths sidestep it by sharing the
+        numpy kernel).
         """
         if rows.size == 0:
-            return []
+            return FragmentBatch.empty(texture_id)
         b0 = bary0[rows, cols]
         b1 = bary1[rows, cols]
         b2 = bary2[rows, cols]
@@ -427,7 +605,7 @@ class Rasterizer:
             b0[positive], b1[positive], b2[positive], d[positive],
         )
         if rows.size == 0:
-            return []
+            return FragmentBatch.empty(texture_id)
         w_value = 1.0 / d
         pixel_x = min_x + cols
         pixel_y = min_y + rows
@@ -435,7 +613,7 @@ class Rasterizer:
         visible = framebuffer.depth_test_batch(pixel_x, pixel_y, depth)
         self.stats.fragments_early_z_killed += int(visible.size - visible.sum())
         if not visible.any():
-            return []
+            return FragmentBatch.empty(texture_id)
         pixel_x, pixel_y, depth, w_value = (
             pixel_x[visible], pixel_y[visible], depth[visible], w_value[visible],
         )
@@ -469,8 +647,9 @@ class Rasterizer:
         dvdy = (grad_num_y[1] - v * grad_denom_y) * w_value
 
         # Camera angle: same expression tree as camera_angle_from_normal,
-        # with the final acos left scalar (numpy's arccos is not
-        # bit-identical to libm's acos on all platforms).
+        # batched.  The arc cosine is the canonical np.arccos kernel both
+        # paths share (repro.texture.npmath), so single-element and
+        # batched evaluation agree bit for bit.
         nx, ny, nz = normal[0], normal[1], normal[2]
         view = camera.position - world
         vx, vy, vz = view[:, 0], view[:, 1], view[:, 2]
@@ -480,23 +659,21 @@ class Rasterizer:
             raise ValueError("zero-length vector")
         cosine = (nx * vx + ny * vy + nz * vz) / (norm_n * norm_v)
         cosine = np.minimum(1.0, np.maximum(-1.0, cosine))
+        camera_angle = npmath.acos_batch(np.abs(cosine))
 
-        return [
-            RasterFragment(
-                x=int(pixel_x[index]),
-                y=int(pixel_y[index]),
-                depth=float(depth[index]),
-                u=float(u[index]),
-                v=float(v[index]),
-                dudx=float(dudx[index]),
-                dvdx=float(dvdx[index]),
-                dudy=float(dudy[index]),
-                dvdy=float(dvdy[index]),
-                camera_angle=math.acos(abs(float(cosine[index]))),  # repro: noqa(REP401) -- np.arccos's SIMD kernel differs from libm acos on ~9% of inputs here (measured); the scalar-oracle parity contract forbids it
-                texture_id=texture_id,
-            )
-            for index in range(len(pixel_x))
-        ]
+        return FragmentBatch(
+            x=pixel_x,
+            y=pixel_y,
+            depth=depth,
+            u=u,
+            v=v,
+            dudx=dudx,
+            dvdx=dvdx,
+            dudy=dudy,
+            dvdy=dvdy,
+            camera_angle=camera_angle,
+            texture_id=texture_id,
+        )
 
 
 def _edge(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> float:

@@ -146,8 +146,9 @@ class Renderer:
         with obs.span(
             "render.trace_only", width=self.width, height=self.height
         ):
-            shaded = self.rasterizer.rasterize_scene(scene, camera, framebuffer)
-        requests = [request for _, request in shaded]
+            requests = self.rasterizer.trace_requests(
+                scene, camera, framebuffer
+            )
         trace = FragmentTrace(
             width=self.width,
             height=self.height,

@@ -9,6 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.units import Cycles
 
 
@@ -68,6 +70,44 @@ class LatencyHistogram:
         if latency > self.max_latency:
             self.max_latency = latency
         self.buckets[bucket_index(latency, len(self.buckets))] += 1
+
+    def observe_batch(self, latencies: np.ndarray) -> None:
+        """Record a batch of latencies, bit-identical to observing each.
+
+        The aggregates replicate :meth:`observe`'s sequential updates
+        exactly:
+
+        * ``total``: ``np.cumsum`` is a strict left fold (unlike
+          ``np.add.reduce``, which sums pairwise), so the cumulative sum
+          of ``[total, l0, l1, ...]`` ends on exactly the value the
+          sequential ``total += l`` loop produces.
+        * ``max``: float max is order-independent.
+        * buckets: for an integer-valued non-negative float ``x``,
+          ``np.frexp(x)[1]`` equals ``int(x).bit_length()`` exactly
+          (both count the position of the leading bit), so the batched
+          bucketing reproduces :func:`bucket_index` lane for lane.
+        """
+        latencies = np.asarray(latencies, dtype=np.float64)
+        if latencies.size == 0:
+            return
+        if bool(np.any(latencies < 0)):
+            raise ValueError("negative latency")
+        self.count += int(latencies.size)
+        self.total = Cycles(
+            float(np.cumsum(np.concatenate(([self.total], latencies)))[-1])  # repro: noqa(REP404) -- np.cumsum is a strict sequential accumulation (no pairwise tree, unlike np.sum); prepending the running total makes this exactly the oracle's ordered left fold, bit for bit
+        )
+        batch_max = float(np.max(latencies))
+        if batch_max > self.max_latency:
+            self.max_latency = Cycles(batch_max)
+        truncated = latencies.astype(np.int64)
+        exponents = np.where(
+            truncated > 0, np.frexp(truncated.astype(np.float64))[1], 0
+        )
+        indices = np.minimum(exponents, len(self.buckets) - 1)
+        counts = np.bincount(indices, minlength=len(self.buckets))
+        for index, population in enumerate(counts):
+            if population:
+                self.buckets[index] += int(population)
 
     @property
     def mean(self) -> Cycles:

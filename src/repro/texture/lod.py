@@ -21,6 +21,10 @@ from repro.units import Bits, Radians
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.texture import npmath
+
 
 @dataclass(frozen=True)
 class SampleFootprint:
@@ -56,7 +60,7 @@ def _next_power_of_two(value: float) -> int:
     """Smallest power of two >= value (minimum 1)."""
     if value <= 1.0:
         return 1
-    return 1 << math.ceil(math.log2(value))
+    return 1 << math.ceil(npmath.log2(value))
 
 
 def compute_footprint(
@@ -72,11 +76,16 @@ def compute_footprint(
     ``lod_bias`` implements the scaled-resolution substitution described
     in DESIGN.md: rendering at 1/s linear scale multiplies the derivatives
     by s, and a bias of -log2(s) restores full-resolution mip selection.
+
+    This is the scalar oracle of :func:`compute_footprint_batch`.  Its
+    transcendentals (``hypot``, ``log2``) go through the canonical numpy
+    kernels of :mod:`repro.texture.npmath`, so the batched twin is
+    bit-identical lane for lane.
     """
     if max_anisotropy < 1:
         raise ValueError("max anisotropy must be >= 1")
-    length_x = math.hypot(dudx, dvdx)
-    length_y = math.hypot(dudy, dvdy)
+    length_x = npmath.hypot(dudx, dvdx)
+    length_y = npmath.hypot(dudy, dvdy)
     major = max(length_x, length_y)
     minor = min(length_x, length_y)
     tiny = 1e-12
@@ -99,7 +108,7 @@ def compute_footprint(
     # the major axis with multiple probes, so the mip level only needs to
     # match the footprint's narrow direction.
     effective_minor = major / anisotropy
-    lod = math.log2(max(effective_minor, tiny)) + lod_bias
+    lod = npmath.log2(max(effective_minor, tiny)) + lod_bias
     lod = max(0.0, lod)
     if length_x >= length_y:
         axis_u, axis_v, axis_len = dudx, dvdx, length_x
@@ -124,6 +133,10 @@ def camera_angle_from_normal(nx: float, ny: float, nz: float,
     angles approaching pi/2 are grazing views, where anisotropic filtering
     matters most.  The paper stores this angle (quantised to 7 bits) in
     texture cache lines for the A-TFIM reuse test.
+
+    The final arc cosine goes through :func:`repro.texture.npmath.acos`
+    (the canonical ``np.arccos`` kernel), so the SoA fragment stream's
+    batched ``np.arccos`` is bit-identical to this scalar oracle.
     """
     norm_n = math.sqrt(nx * nx + ny * ny + nz * nz)
     norm_v = math.sqrt(vx * vx + vy * vy + vz * vz)
@@ -131,8 +144,90 @@ def camera_angle_from_normal(nx: float, ny: float, nz: float,
         raise ValueError("zero-length vector")
     cosine = (nx * vx + ny * vy + nz * vz) / (norm_n * norm_v)
     cosine = min(1.0, max(-1.0, cosine))
-    angle = math.acos(abs(cosine))
+    angle = npmath.acos(abs(cosine))
     return angle
+
+
+@dataclass(frozen=True)
+class FootprintBatch:
+    """SoA form of :class:`SampleFootprint` for a fragment batch.
+
+    Columns are parallel numpy arrays; ``footprint(i)`` materialises one
+    row as a :class:`SampleFootprint` (the AoS bridge the per-request
+    expander still consumes).
+    """
+
+    lod: np.ndarray
+    anisotropy: np.ndarray
+    probes: np.ndarray
+    major_du: np.ndarray
+    major_dv: np.ndarray
+    major_length: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.lod)
+
+    def footprint(self, index: int) -> SampleFootprint:
+        return SampleFootprint(
+            lod=float(self.lod[index]),
+            anisotropy=float(self.anisotropy[index]),
+            probes=int(self.probes[index]),
+            major_du=float(self.major_du[index]),
+            major_dv=float(self.major_dv[index]),
+            major_length=float(self.major_length[index]),
+        )
+
+
+def compute_footprint_batch(
+    dudx: np.ndarray,
+    dvdx: np.ndarray,
+    dudy: np.ndarray,
+    dvdy: np.ndarray,
+    max_anisotropy: int = 16,
+    lod_bias: float = 0.0,
+) -> FootprintBatch:
+    """Batched twin of :func:`compute_footprint` over derivative columns.
+
+    Bit-identical to calling the scalar oracle per element: every branch
+    is replicated with ``np.where`` over the same IEEE-754 expressions,
+    and the transcendentals are the same canonical numpy kernels the
+    scalar path calls (:mod:`repro.texture.npmath`).  Degenerate lanes
+    (footprint below the ``tiny`` threshold) are computed on safe
+    stand-in values and overwritten with the scalar path's constants.
+    """
+    if max_anisotropy < 1:
+        raise ValueError("max anisotropy must be >= 1")
+    length_x = npmath.hypot_batch(dudx, dvdx)
+    length_y = npmath.hypot_batch(dudy, dvdy)
+    major = np.maximum(length_x, length_y)
+    minor = np.minimum(length_x, length_y)
+    tiny = 1e-12
+    degenerate = major < tiny
+    major_safe = np.where(degenerate, 1.0, major)
+    minor_safe = np.maximum(np.where(degenerate, 1.0, minor), tiny)
+    anisotropy = np.minimum(major_safe / minor_safe, float(max_anisotropy))
+    # _next_power_of_two, lane-wise: 1 for anisotropy <= 1, else
+    # 1 << ceil(log2(anisotropy)); then clamped to the hardware maximum.
+    exponents = np.ceil(npmath.log2_batch(anisotropy)).astype(np.int64)
+    probes = np.where(anisotropy <= 1.0, 1, np.left_shift(1, exponents))
+    probes = np.minimum(probes, max_anisotropy)
+    effective_minor = major_safe / anisotropy
+    lod = npmath.log2_batch(np.maximum(effective_minor, tiny)) + lod_bias
+    lod = np.maximum(0.0, lod)
+    use_x = length_x >= length_y
+    axis_u = np.where(use_x, dudx, dudy)
+    axis_v = np.where(use_x, dvdx, dvdy)
+    axis_len = np.where(use_x, length_x, length_y)
+    axis_len_safe = np.where(degenerate, 1.0, axis_len)
+    scale = 2.0 ** lod_bias
+    return FootprintBatch(
+        lod=np.where(degenerate, max(0.0, lod_bias), lod),
+        anisotropy=np.where(degenerate, 1.0, anisotropy),
+        probes=np.where(degenerate, 1, probes),
+        major_du=np.where(degenerate, 0.0, axis_u / axis_len_safe),
+        major_dv=np.where(degenerate, 0.0, axis_v / axis_len_safe),
+        major_length=np.where(degenerate, 0.0, major * scale),
+    )
 
 
 def quantize_angle(angle: Radians, bits: Bits = 7) -> float:
