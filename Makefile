@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-units lint-determinism lint-vectorize lint-sarif test check rules invariants bench chaos
+.PHONY: lint lint-units lint-determinism lint-vectorize lint-sarif test check rules invariants bench chaos sweep-smoke
 
 lint:
 	$(PYTHON) -m repro.analysis lint
@@ -32,5 +32,10 @@ bench:
 
 chaos:
 	$(PYTHON) -m repro chaos --jobs 2 --manifest CHAOS.manifest.json
+
+# Tiny sampled sweep through each executor backend; fails on
+# cross-backend divergence or dropped points (writes BENCH_sweep.json).
+sweep-smoke:
+	$(PYTHON) -m repro.perf.sweep_smoke
 
 check: lint test

@@ -13,6 +13,10 @@ Subcommands:
   Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto).
 * ``chaos`` -- run the design grid under an injected fault plan and
   verify the results stay bit-identical to a clean serial run.
+* ``sweep`` -- run a (sampled) design-space sweep over threshold x
+  workload x link-scale x memory-backend through a chosen executor
+  backend; optionally cross-check backends for bit-identity and write
+  the A-TFIM crossover surface into EXPERIMENTS.md.
 
 ``report``, ``fig`` and ``bench`` accept ``--jobs N`` to fan design-point
 simulations out over processes; ``report`` persists results under
@@ -335,6 +339,81 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a sampled design-space sweep through an executor backend."""
+    import tempfile
+
+    from repro.experiments.sweep import (
+        SweepDefinition,
+        run_sweep,
+        surface_markdown,
+        update_experiments_md,
+    )
+    from repro.faults import FAST_RETRIES
+
+    names = FAST_WORKLOADS if args.fast else workload_names()
+    definition = SweepDefinition(
+        name=args.name, workloads=tuple(names), seed=args.seed
+    )
+    points = (
+        definition.points()
+        if args.points <= 0 or args.points >= definition.size
+        else definition.sample(args.points)
+    )
+    print(
+        f"sweep {definition.name!r}: {len(points)} points "
+        f"({definition.size} in the full product), "
+        f"backend={args.backend}, jobs={args.jobs}"
+    )
+
+    def execute(backend, cache_dir):
+        return run_sweep(
+            definition,
+            points=points,
+            cache_dir=cache_dir,
+            jobs=args.jobs,
+            backend=backend,
+            retry_policy=FAST_RETRIES,
+        )
+
+    with obs.span("cli.sweep", points=len(points), backend=args.backend):
+        if args.cache_dir is not None:
+            result = execute(args.backend, args.cache_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
+                result = execute(args.backend, scratch)
+        identical = True
+        if args.check:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-sweep-check-"
+            ) as scratch:
+                reference = execute("serial", scratch)
+            identical = result.signatures() == reference.signatures()
+            print(
+                "bit-identical to serial execution: "
+                + ("yes" if identical else "NO")
+            )
+    counts = result.fanout.get("outcomes", {})
+    if counts:
+        print("outcomes: "
+              + " ".join(f"{name}={count}" for name, count in counts.items()))
+    if result.missing:
+        for point in result.missing:
+            print(f"MISSING: {point.token}")
+    print(f"{len(result.records)} records over {result.unique_runs} "
+          "unique simulations")
+    if args.output:
+        path = result.write_json(args.output)
+        print(f"wrote {path}")
+    if args.update_experiments is not None:
+        target = args.update_experiments or "EXPERIMENTS.md"
+        path = update_experiments_md(surface_markdown(result), target)
+        print(f"wrote {path}")
+    else:
+        print(surface_markdown(result))
+    return 0 if identical and not result.missing else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.manifest import write_chrome_trace
 
@@ -461,6 +540,41 @@ def build_parser() -> argparse.ArgumentParser:
                        "per-key outcomes (optional path; default "
                        "CHAOS.manifest.json)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a sampled design-space sweep (threshold x workload x "
+        "link scale x memory backend) through an executor backend",
+    )
+    sweep.add_argument("--name", default="design-space",
+                       help="sweep name (seeds the deterministic sampler)")
+    sweep.add_argument("--points", type=int, default=64,
+                       help="sampled point budget (<= 0: the full "
+                       "Cartesian product)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="sampling seed (default: 0)")
+    sweep.add_argument("--backend", default="process-pool",
+                       choices=["serial", "process-pool", "work-stealing"],
+                       help="executor backend for the fan-out "
+                       "(default: process-pool)")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: cpu count)")
+    sweep.add_argument("--fast", action="store_true",
+                       help="3-workload subset instead of all of Table II")
+    sweep.add_argument("--check", action="store_true",
+                       help="re-run the sweep serially in a separate cache "
+                       "and fail unless results are bit-identical")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persist traces/runs here (default: a "
+                       "per-invocation temporary directory)")
+    sweep.add_argument("--output", default=None,
+                       help="write the full sweep result as JSON here")
+    sweep.add_argument("--update-experiments", nargs="?", const="",
+                       default=None,
+                       help="rewrite the crossover-surface section of "
+                       "EXPERIMENTS.md (optional path) instead of printing "
+                       "it")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

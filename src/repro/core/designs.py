@@ -67,6 +67,14 @@ class DesignConfig:
     """Store textures block-compressed (section VIII: orthogonal to the
     TFIM designs): texel line fills move 4x fewer bytes; texture units
     (GPU or in-memory) decompress inline."""
+    memory_backend: str = "hmc"
+    """Which :mod:`repro.memory.registry` substrate produced ``hmc``.
+    Categorical sweep axis; the physics lives in the ``hmc`` cube
+    config itself, this names its provenance (and is validated against
+    the registry)."""
+    link_bandwidth_scale: float = 1.0
+    """External-interface multiplier already applied to ``hmc`` (sweep
+    axis; 1.0 = the backend's nominal interface)."""
 
     def __post_init__(self) -> None:
         if self.angle_threshold < 0:
@@ -79,6 +87,11 @@ class DesignConfig:
             raise ValueError("cannot share one MTU across more clusters than exist")
         if self.num_cubes < 1:
             raise ValueError("need at least one HMC cube")
+        if self.link_bandwidth_scale <= 0:
+            raise ValueError("link bandwidth scale must be positive")
+        from repro.memory.registry import memory_backend
+
+        memory_backend(self.memory_backend)  # validates the name
 
     @property
     def effective_angle_threshold(self) -> float:
@@ -106,6 +119,8 @@ class DesignConfig:
             aniso_enabled=self.aniso_enabled,
             mtu_share=self.mtu_share,
             consolidation_enabled=self.consolidation_enabled,
+            memory_backend=self.memory_backend,
+            link_bandwidth_scale=self.link_bandwidth_scale,
         )
 
     def with_threshold(self, angle_threshold: Radians) -> "DesignConfig":
@@ -120,4 +135,6 @@ class DesignConfig:
             aniso_enabled=self.aniso_enabled,
             mtu_share=self.mtu_share,
             consolidation_enabled=self.consolidation_enabled,
+            memory_backend=self.memory_backend,
+            link_bandwidth_scale=self.link_bandwidth_scale,
         )

@@ -110,6 +110,47 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+def _canonical_payload(value: Any, path: str) -> Any:
+    """Validate one cache-key payload value into canonical JSON form.
+
+    Only process-independent values may reach the key digest: JSON
+    scalars, finite floats, lists/tuples, and string-keyed mappings,
+    recursively.  ``path`` names the offending location in the raised
+    ``TypeError`` (e.g. ``payload.workload[2]``).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise TypeError(
+                f"cache key payload at {path} is a non-finite float "
+                f"({value!r}); keys must be reproducible across runs"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonical_payload(item, f"{path}[{index}]")
+            for index, item in enumerate(value)
+        ]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"cache key payload at {path} has a non-string "
+                    f"mapping key {key!r}; canonical JSON requires "
+                    "string keys"
+                )
+            out[key] = _canonical_payload(item, f"{path}.{key}")
+        return out
+    raise TypeError(
+        f"cache key payload at {path} is {value!r} "
+        f"(type {type(value).__name__}), which has no canonical JSON "
+        "form; stringifying it would embed a per-process repr and "
+        "silently miss the cache -- pass a scalar/list/dict instead"
+    )
+
+
 @dataclass
 class DiskCache:
     """Pickle-backed content-addressed store under a root directory."""
@@ -125,11 +166,23 @@ class DiskCache:
             self.root = Path(self.root)
 
     def key(self, category: str, **payload: Any) -> str:
-        """Content key: SHA-256 over category + source version + payload."""
+        """Content key: SHA-256 over category + source version + payload.
+
+        Payload values must canonicalize to JSON -- scalars, lists/
+        tuples, and string-keyed dicts, recursively.  Anything else is
+        rejected with :class:`TypeError` rather than stringified: a
+        ``default=str`` fallback would embed ``repr`` ids for plain
+        objects, yielding a different key per process and a silent
+        cache-miss storm under fan-out.
+        """
         body = dict(payload)
         body["category"] = category
         body["source"] = source_version()
-        canonical = json.dumps(body, sort_keys=True, default=str)
+        canonical = json.dumps(
+            _canonical_payload(body, "payload"),
+            sort_keys=True,
+            allow_nan=False,
+        )
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     def _path(self, key: str) -> Path:

@@ -73,6 +73,10 @@ class RunKey:
     aniso_enabled: bool
     mtu_share: int = 1
     consolidation_enabled: bool = True
+    memory_backend: str = "hmc"
+    """PIM substrate (:mod:`repro.memory.registry` name)."""
+    link_bandwidth_scale: float = 1.0
+    """External-interface multiplier of the substrate (sweep axis)."""
 
 
 @dataclass
@@ -103,6 +107,8 @@ def _run_payload(key: RunKey) -> Dict[str, Any]:
         "aniso_enabled": key.aniso_enabled,
         "mtu_share": key.mtu_share,
         "consolidation_enabled": key.consolidation_enabled,
+        "memory_backend": key.memory_backend,
+        "link_bandwidth_scale": key.link_bandwidth_scale,
     }
 
 
@@ -148,6 +154,8 @@ def _worker_run(
         aniso_enabled=key.aniso_enabled,
         mtu_share=key.mtu_share,
         consolidation_enabled=key.consolidation_enabled,
+        memory_backend=key.memory_backend,
+        link_bandwidth_scale=key.link_bandwidth_scale,
     )
     run = simulate_frame(scene, trace, config)
     cache.store_safe(run_key, run)
@@ -161,12 +169,14 @@ def _worker_trace_traced(
     """Traced pool worker: trace generation plus this worker's span forest.
 
     Forked workers inherit the parent's half-built tracer state, so the
-    tracer is reset before any spans are recorded here -- except on the
-    degraded in-process fallback (fault injection suppressed), where the
-    parent's live tracer already covers the work and resetting it would
-    destroy the run's span forest.
+    tracer is reset before any spans are recorded here -- except when
+    running in the parent itself (the degraded fallback under
+    :func:`faults.suppress`, or a serial-backend attempt under
+    :func:`faults.inline_execution`), where the parent's live tracer
+    already covers the work and resetting it would destroy the run's
+    span forest.
     """
-    if faults.suppressed():
+    if faults.suppressed() or faults.inline():
         return _worker_trace(workload_name, cache_root, ctx), []
     obs.reset_tracer()
     with obs.span("worker.trace", workload=workload_name):
@@ -179,7 +189,7 @@ def _worker_run_traced(
     ctx: Optional[FaultContext] = None,
 ) -> Tuple[DesignRun, List[Dict[str, Any]]]:
     """Traced pool worker: one grid point plus this worker's span forest."""
-    if faults.suppressed():
+    if faults.suppressed() or faults.inline():
         return _worker_run(key, cache_root, ctx), []
     obs.reset_tracer()
     with obs.span(
@@ -207,6 +217,7 @@ class ExperimentRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         jobs: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if workload_names is None:
             self.workloads: List[GameWorkload] = list(WORKLOADS)
@@ -217,6 +228,7 @@ class ExperimentRunner:
         self._energy: Dict[RunKey, EnergyBreakdown] = {}
         self.energy_model = EnergyModel()
         self.jobs = jobs
+        self.backend = backend
         self.retry_policy = retry_policy or RetryPolicy()
         self.memo_hits = 0
         self.memo_misses = 0
@@ -341,6 +353,8 @@ class ExperimentRunner:
                 aniso_enabled=key.aniso_enabled,
                 mtu_share=key.mtu_share,
                 consolidation_enabled=key.consolidation_enabled,
+                memory_backend=key.memory_backend,
+                link_bandwidth_scale=key.link_bandwidth_scale,
             )
             run = simulate_frame(scene, trace, config)
             if current is not None:
@@ -356,6 +370,7 @@ class ExperimentRunner:
         jobs: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
         task_timeout: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> Dict[RunKey, DesignRun]:
         """Simulate a batch of grid points, fanning out across processes.
 
@@ -366,6 +381,14 @@ class ExperimentRunner:
         scoped to this call is used.  With ``jobs=1`` (or a single key)
         everything runs in-process -- results are identical either way
         because the whole pipeline is deterministic.
+
+        ``backend`` names an executor backend
+        (:data:`repro.faults.BACKEND_NAMES`: ``serial``,
+        ``process-pool``, ``work-stealing``); naming one explicitly --
+        here or on the runner -- routes scheduling through
+        :func:`~repro.faults.executor.run_fanout` on that backend even
+        when ``jobs`` would otherwise take the in-process shortcut, so
+        cross-backend comparisons exercise the same code path.
 
         The parallel branch is fault tolerant (see
         :func:`repro.faults.executor.run_fanout`): failed attempts are
@@ -379,6 +402,7 @@ class ExperimentRunner:
         jobs = jobs if jobs is not None else self.jobs
         if jobs is None:
             jobs = os.cpu_count() or 1
+        backend = backend if backend is not None else self.backend
         results: Dict[RunKey, DesignRun] = {}
         pending: List[RunKey] = []
         for key in keys:
@@ -393,7 +417,7 @@ class ExperimentRunner:
             return results
         self.memo_misses += len(pending)
 
-        if jobs <= 1 or len(pending) == 1:
+        if backend is None and (jobs <= 1 or len(pending) == 1):
             with obs.span(
                 "runner.run_many", pending=len(pending), jobs=1
             ):
@@ -436,6 +460,7 @@ class ExperimentRunner:
                         policy=policy,
                         task_timeout=task_timeout,
                         phase="faults.trace_fanout",
+                        backend=backend,
                     )
                     if traced:
                         # Graft in submission order, not dict (completion)
@@ -461,6 +486,7 @@ class ExperimentRunner:
                         policy=policy,
                         task_timeout=task_timeout,
                         phase="faults.run_fanout",
+                        backend=backend,
                     )
                     if traced:
                         _graft_worker_spans(

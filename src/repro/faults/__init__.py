@@ -25,16 +25,28 @@ results stay bit-identical to a clean serial run, which is what the
 chaos tests (``tests/faults``, ``make chaos``) assert.
 """
 
+from repro.faults.backends import (
+    BACKEND_NAMES,
+    BackendBrokenError,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkStealingBackend,
+    make_backend,
+)
 from repro.faults.executor import FanoutTask, run_fanout
 from repro.faults.injector import (
     FaultContext,
     FaultInjector,
+    InjectedCrash,
     InjectedFault,
     activate,
     active_injector,
     deactivate,
     enter_worker,
     in_worker,
+    inline,
+    inline_execution,
     reset,
     suppress,
     suppressed,
@@ -44,22 +56,32 @@ from repro.faults.plan import ENV_FLAG, FaultPlan, stable_fraction
 from repro.faults.retry import FAST_RETRIES, RetryPolicy
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendBrokenError",
     "ENV_FLAG",
+    "ExecutorBackend",
     "FAST_RETRIES",
     "FanoutReport",
     "FanoutTask",
     "FaultContext",
     "FaultInjector",
     "FaultPlan",
+    "InjectedCrash",
     "InjectedFault",
+    "ProcessPoolBackend",
     "RetryPolicy",
     "RunOutcome",
+    "SerialBackend",
     "TaskReport",
+    "WorkStealingBackend",
     "activate",
     "active_injector",
     "deactivate",
     "enter_worker",
     "in_worker",
+    "inline",
+    "inline_execution",
+    "make_backend",
     "reset",
     "run_fanout",
     "stable_fraction",

@@ -1,0 +1,282 @@
+"""Pluggable executor backends for the fault-tolerant fan-out.
+
+:func:`repro.faults.executor.run_fanout` schedules *attempts*; where
+those attempts execute is this module's concern.  An
+:class:`ExecutorBackend` owns the worker resources and exposes them
+through a small protocol:
+
+``submit``
+    start one attempt, returning a :class:`~concurrent.futures.Future`
+    (possibly already completed, for in-process backends);
+``domain_of``
+    the **fault domain** an attempt runs in -- the blast radius of one
+    worker-pool failure.  When a pool breaks or is killed to reclaim a
+    hung task, only attempts in the same domain are affected;
+``recover``
+    tear down and rebuild one broken domain, leaving the others alone;
+``release``
+    bookkeeping hook: the scheduler no longer tracks this future.
+
+Three implementations:
+
+* :class:`SerialBackend` -- in-process, one attempt at a time.  Crash
+  faults raise :class:`~repro.faults.injector.InjectedCrash` instead of
+  killing the process (see :func:`~repro.faults.injector.inline_execution`),
+  so retry schedules replay identically to the pooled backends.
+* :class:`ProcessPoolBackend` -- one ``ProcessPoolExecutor``, the
+  classic single fault domain: a worker crash requeues everything in
+  flight.
+* :class:`WorkStealingBackend` -- several independent pools ("shards"),
+  each its own fault domain.  Shards pull work from the scheduler's
+  shared ready queue as their slots free up (``submit`` routes each
+  attempt to the least-loaded shard), so an idle shard steals whatever
+  work exists rather than being bound to a static partition -- and a
+  crash or hung-task reclaim only requeues that shard's attempts.
+
+Backends are process-local today; the protocol is the seam for remote
+(SSH/queue) execution later -- ``domain_of`` becomes the remote host.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.faults.injector import inline_execution
+
+
+class BackendBrokenError(RuntimeError):
+    """``submit`` found its target fault domain already broken.
+
+    The scheduler reacts exactly as if an in-flight future of that
+    domain had raised ``BrokenProcessPool``: requeue the unsubmitted
+    task (no retry charged -- it never ran), drain the domain, and call
+    :meth:`ExecutorBackend.recover`.
+    """
+
+    def __init__(self, domain: int, cause: BaseException) -> None:
+        super().__init__(f"executor domain {domain} is broken: {cause!r}")
+        self.domain = domain
+        self.cause = cause
+
+
+class ExecutorBackend(abc.ABC):
+    """Where fan-out attempts execute, carved into fault domains."""
+
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def capacity(self) -> int:
+        """Maximum attempts in flight; the scheduler never exceeds it."""
+
+    @abc.abstractmethod
+    def submit(
+        self, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> "Future[Any]":
+        """Start one attempt; raise :class:`BackendBrokenError` if its
+        fault domain is already broken."""
+
+    @abc.abstractmethod
+    def domain_of(self, future: "Future[Any]") -> int:
+        """The fault domain the attempt behind ``future`` runs in."""
+
+    @abc.abstractmethod
+    def recover(self, domain: int) -> None:
+        """Tear down and rebuild one fault domain after a failure."""
+
+    def release(self, future: "Future[Any]") -> None:
+        """The scheduler stopped tracking ``future`` (harvested/drained)."""
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Release every worker resource; the backend is done."""
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process execution: ``submit`` runs the attempt synchronously.
+
+    The returned future is already resolved.  There is no worker
+    process to lose, so the single domain never breaks and ``recover``
+    is unreachable; injected crash faults surface as
+    :class:`~repro.faults.injector.InjectedCrash` exceptions and flow
+    through the ordinary retry path.
+    """
+
+    name = "serial"
+
+    @property
+    def capacity(self) -> int:
+        return 1
+
+    def submit(
+        self, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+        try:
+            with inline_execution():
+                value = fn(*args)
+        except Exception as error:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+        return future
+
+    def domain_of(self, future: "Future[Any]") -> int:
+        return 0
+
+    def recover(self, domain: int) -> None:
+        raise AssertionError("the in-process serial domain cannot break")
+
+    def shutdown(self) -> None:
+        pass
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """One local ``ProcessPoolExecutor``; a single fault domain."""
+
+    name = "process-pool"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self._pool = ProcessPoolExecutor(max_workers=jobs)
+
+    @property
+    def capacity(self) -> int:
+        return self.jobs
+
+    def submit(
+        self, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> "Future[Any]":
+        try:
+            return self._pool.submit(fn, *args)
+        except BrokenProcessPool as error:
+            raise BackendBrokenError(0, error) from error
+
+    def domain_of(self, future: "Future[Any]") -> int:
+        return 0
+
+    def recover(self, domain: int) -> None:
+        self._pool = _rebuild_pool(self._pool, self.jobs)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class WorkStealingBackend(ExecutorBackend):
+    """Several independent process pools, each its own fault domain.
+
+    ``submit`` routes each attempt to the least-loaded shard (lowest
+    index on ties, so routing is deterministic given the same load
+    sequence); shards therefore drain the scheduler's shared ready
+    queue at their own pace instead of owning a static slice of it.
+    A ``BrokenProcessPool`` or hung-task reclaim in one shard leaves
+    the other shards' in-flight attempts untouched.
+    """
+
+    name = "work-stealing"
+
+    def __init__(self, shards: int, jobs_per_shard: int) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if jobs_per_shard < 1:
+            raise ValueError("jobs_per_shard must be at least 1")
+        self.shards = shards
+        self.jobs_per_shard = jobs_per_shard
+        self._pools: List[ProcessPoolExecutor] = [
+            ProcessPoolExecutor(max_workers=jobs_per_shard)
+            for _ in range(shards)
+        ]
+        self._load: List[int] = [0] * shards
+        self._shard_of: Dict["Future[Any]", int] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self.shards * self.jobs_per_shard
+
+    def _pick_shard(self) -> int:
+        return min(range(self.shards), key=lambda i: (self._load[i], i))
+
+    def submit(
+        self, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> "Future[Any]":
+        shard = self._pick_shard()
+        try:
+            future = self._pools[shard].submit(fn, *args)
+        except BrokenProcessPool as error:
+            raise BackendBrokenError(shard, error) from error
+        self._load[shard] += 1
+        self._shard_of[future] = shard
+        return future
+
+    def domain_of(self, future: "Future[Any]") -> int:
+        return self._shard_of[future]
+
+    def release(self, future: "Future[Any]") -> None:
+        shard = self._shard_of.pop(future, None)
+        if shard is not None:
+            self._load[shard] -= 1
+
+    def recover(self, domain: int) -> None:
+        self._pools[domain] = _rebuild_pool(
+            self._pools[domain], self.jobs_per_shard
+        )
+
+    def shutdown(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _rebuild_pool(
+    pool: ProcessPoolExecutor, jobs: int
+) -> ProcessPoolExecutor:
+    """Terminate a (possibly hung or broken) pool and start a fresh one.
+
+    Stragglers are terminated first: ``shutdown()`` alone would block on
+    a worker stuck in a hung task.  ``_processes`` is stdlib-private but
+    stable across 3.8+; absent (``None``) after a broken shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        if process.is_alive():
+            process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+BACKEND_NAMES = ("serial", "process-pool", "work-stealing")
+"""Accepted ``make_backend`` spec strings (aliases: pool, stealing)."""
+
+
+def make_backend(
+    spec: Union[None, str, ExecutorBackend],
+    jobs: int,
+    shards: Optional[int] = None,
+) -> ExecutorBackend:
+    """Resolve a backend spec to a live :class:`ExecutorBackend`.
+
+    ``None`` keeps the historical behaviour (one local process pool of
+    ``jobs`` workers).  A string picks a named backend; an instance is
+    returned as-is (the caller-built backend is still shut down by
+    ``run_fanout``, which owns whatever it schedules on).  For
+    ``work-stealing``, ``shards`` defaults to 2 when ``jobs`` allows,
+    and ``jobs`` total workers are split evenly across shards.
+    """
+    if isinstance(spec, ExecutorBackend):
+        return spec
+    if spec is None or spec in ("process-pool", "pool"):
+        return ProcessPoolBackend(jobs)
+    if spec == "serial":
+        return SerialBackend()
+    if spec in ("work-stealing", "stealing"):
+        if shards is None or shards < 1:
+            shards = 2 if jobs >= 2 else 1
+        jobs_per_shard = max(1, (jobs + shards - 1) // shards)
+        return WorkStealingBackend(shards, jobs_per_shard)
+    raise ValueError(
+        f"unknown executor backend {spec!r}; expected one of {BACKEND_NAMES}"
+    )

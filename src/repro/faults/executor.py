@@ -1,20 +1,29 @@
-"""Fault-tolerant process-pool fan-out: submit, retry, rebuild, degrade.
+"""Fault-tolerant fan-out: submit, retry, rebuild, degrade -- on any backend.
 
 :func:`run_fanout` replaces bare ``ProcessPoolExecutor.map`` for batch
-work whose individual points may fail.  Per-task ``submit`` scheduling
-keeps at most ``jobs`` attempts in flight and survives the three
-failure shapes large batch sweeps actually hit:
+work whose individual points may fail.  Attempts execute on a pluggable
+:class:`~repro.faults.backends.ExecutorBackend` (in-process serial, one
+local process pool, or several work-stealing pool shards); per-task
+``submit`` scheduling keeps at most ``backend.capacity`` attempts in
+flight and survives the three failure shapes large batch sweeps
+actually hit:
 
 * a task attempt **raises** -- requeued with exponential backoff and
-  deterministic jitter until its :class:`RetryPolicy` budget runs out;
-* a worker process **dies** (``BrokenProcessPool``) -- the pool is
-  rebuilt and every in-flight key requeued (the dead worker cannot be
-  identified, so all in-flight attempts are charged a retry);
+  deterministic jitter until its :class:`RetryPolicy` budget runs out.
+  Backoff is a per-task *not-before deadline* checked by the top-up
+  loop, never a scheduler sleep: other tasks keep submitting and
+  harvesting while one task waits out its delay;
+* a worker process **dies** (``BrokenProcessPool``) -- only the broken
+  **fault domain** (the affected pool shard) is rebuilt, and only its
+  in-flight keys are requeued (the dead worker cannot be identified
+  within the domain, so all of the domain's attempts are charged a
+  retry);
 * a task **hangs** past ``task_timeout`` -- running attempts cannot be
-  cancelled, so the pool's workers are terminated, the pool rebuilt,
-  the overdue keys charged a timeout and everything in flight requeued
-  (bystanders keep their attempt index, replaying identical fault
-  decisions).
+  cancelled, so the overdue attempt's domain is torn down and rebuilt.
+  The overdue keys are charged a timeout; same-domain **bystanders**
+  are requeued at the same attempt index (replaying identical fault
+  decisions) and tracked in ``TaskReport.bystander_requeues`` -- never
+  charged a retry, because they did not fail.
 
 Tasks that exhaust their retry budget degrade to serial in-process
 execution under :func:`repro.faults.injector.suppress` -- the
@@ -31,17 +40,30 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro import obs
+from repro.faults.backends import (
+    BackendBrokenError,
+    ExecutorBackend,
+    make_backend,
+)
 from repro.faults.injector import FaultContext, suppress
 from repro.faults.outcomes import FanoutReport, RunOutcome, TaskReport
 from repro.faults.retry import RetryPolicy
-
-_BYSTANDER_ERROR = "requeued: pool broke under a concurrent task"
 
 
 @dataclass(frozen=True)
@@ -66,6 +88,16 @@ class _InFlight:
     started: float
 
 
+@dataclass(frozen=True)
+class _Ready:
+    """One queued attempt, submittable once ``not_before`` has passed."""
+
+    task: FanoutTask
+    attempt: int
+    not_before: float = 0.0
+    """Monotonic deadline of this attempt's retry backoff (0 = now)."""
+
+
 def run_fanout(
     tasks: Sequence[FanoutTask],
     jobs: int,
@@ -73,14 +105,19 @@ def run_fanout(
     task_timeout: Optional[float] = None,
     degrade: bool = True,
     phase: str = "faults.fanout",
+    backend: Union[None, str, ExecutorBackend] = None,
 ) -> Tuple[Dict[Any, Any], FanoutReport]:
-    """Run ``tasks`` over a worker pool, tolerating per-task failure.
+    """Run ``tasks`` over an executor backend, tolerating per-task failure.
 
     Returns ``(results, report)``: ``results`` maps each succeeding
     task's key to its return value (partial on failures), ``report``
     carries the per-key :class:`~repro.faults.outcomes.RunOutcome` and
-    pool-level counters.  Scheduling is deterministic for a fixed fault
-    plan and policy; only completion *order* varies with machine load.
+    pool-level counters.  ``backend`` picks where attempts execute (see
+    :func:`repro.faults.backends.make_backend`); ``None`` keeps the
+    historical single process pool of ``jobs`` workers.  ``run_fanout``
+    owns the backend either way and shuts it down before returning.
+    Scheduling is deterministic for a fixed fault plan and policy; only
+    completion *order* varies with machine load.
     """
     policy = policy if policy is not None else RetryPolicy()
     report = FanoutReport()
@@ -96,16 +133,15 @@ def run_fanout(
         report.tasks[task.key] = TaskReport(token=str(task.key))
         index_of[task.key] = index
 
-    ready: Deque[Tuple[FanoutTask, int]] = deque(
-        (task, 0) for task in tasks
-    )
+    executor = make_backend(backend, jobs)
+    report.backend = executor.name
+    ready: Deque[_Ready] = deque(_Ready(task, 0) for task in tasks)
     degraded_queue: List[FanoutTask] = []
     in_flight: Dict[Future, _InFlight] = {}
-    pool = ProcessPoolExecutor(max_workers=jobs)
 
     def handle_failure(task: FanoutTask, attempt: int, error: BaseException,
                        timed_out: bool = False) -> None:
-        """Requeue with backoff, degrade, or mark failed."""
+        """Requeue with a backoff deadline, degrade, or mark failed."""
         state = report.tasks[task.key]
         state.error = repr(error)
         if timed_out:
@@ -120,138 +156,186 @@ def run_fanout(
                 delay=delay,
                 error=state.error,
             )
-            if delay > 0:
-                time.sleep(delay)
-            ready.append((task, attempt + 1))
+            # Never sleep here: a backoff is this task's problem, not
+            # the scheduler's.  The top-up loop skips the entry until
+            # its deadline passes while other tasks keep flowing.
+            not_before = time.monotonic() + delay if delay > 0 else 0.0
+            ready.append(_Ready(task, attempt + 1, not_before))
         elif degrade:
             obs.event("faults.degrade", token=state.token, error=state.error)
             degraded_queue.append(task)
         else:
             state.outcome = RunOutcome.FAILED
 
-    def rebuild_pool(reason: str) -> None:
-        nonlocal pool
+    def recover_domain(domain: int, reason: str) -> None:
         report.pool_rebuilds += 1
-        obs.event("faults.pool_rebuild", reason=reason)
-        # Terminate stragglers first: shutdown() alone would block on a
-        # worker stuck in a hung task.  ``_processes`` is stdlib-private
-        # but stable across 3.8+; absent (None) after a broken shutdown.
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            if process.is_alive():
-                process.terminate()
-        pool.shutdown(wait=False, cancel_futures=True)
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        obs.event("faults.pool_rebuild", reason=reason, domain=domain)
+        executor.recover(domain)
 
-    def drain_in_flight_as_broken(error: BaseException) -> None:
-        """Every in-flight attempt died with the pool; requeue them."""
-        doomed = list(in_flight.values())
-        in_flight.clear()
-        for entry in doomed:
+    def drain_domain_as_broken(domain: int, error: BaseException) -> None:
+        """Every in-flight attempt of ``domain`` died with its pool."""
+        doomed = [
+            (future, entry)
+            for future, entry in in_flight.items()
+            if executor.domain_of(future) == domain
+        ]
+        for future, entry in doomed:
+            del in_flight[future]
+            executor.release(future)
             handle_failure(entry.task, entry.attempt, error)
 
     try:
         with obs.span(phase, tasks=len(tasks), jobs=jobs) as phase_span:
             while ready or in_flight:
-                # Top up: at most ``jobs`` attempts in flight, so a pool
-                # breakage penalizes a bounded number of bystanders.
-                broken_on_submit: Optional[BaseException] = None
-                while ready and len(in_flight) < jobs:
-                    task, attempt = ready.popleft()
-                    state = report.tasks[task.key]
+                # Top up: at most ``capacity`` attempts in flight, so a
+                # domain breakage penalizes a bounded number of
+                # bystanders.  Entries still inside their backoff window
+                # are set aside, not submitted and not waited on.
+                now = time.monotonic()
+                deferred: List[_Ready] = []
+                broken_on_submit: Optional[BackendBrokenError] = None
+                while ready and len(in_flight) < executor.capacity:
+                    entry = ready.popleft()
+                    if entry.not_before > now:
+                        deferred.append(entry)
+                        continue
+                    state = report.tasks[entry.task.key]
                     ctx = FaultContext(
-                        index=index_of[task.key],
-                        attempt=attempt,
+                        index=index_of[entry.task.key],
+                        attempt=entry.attempt,
                         token=state.token,
                     )
                     try:
-                        future = pool.submit(task.fn, *task.args, ctx)
-                    except BrokenProcessPool as error:
-                        ready.appendleft((task, attempt))
+                        future = executor.submit(
+                            entry.task.fn, (*entry.task.args, ctx)
+                        )
+                    except BackendBrokenError as error:
+                        ready.appendleft(entry)
                         broken_on_submit = error
                         break
                     state.attempts += 1
-                    in_flight[future] = _InFlight(task, attempt, time.monotonic())
+                    in_flight[future] = _InFlight(
+                        entry.task, entry.attempt, time.monotonic()
+                    )
+                ready.extend(deferred)
                 if broken_on_submit is not None:
-                    drain_in_flight_as_broken(broken_on_submit)
-                    rebuild_pool("submit-on-broken-pool")
+                    drain_domain_as_broken(
+                        broken_on_submit.domain, broken_on_submit.cause
+                    )
+                    recover_domain(
+                        broken_on_submit.domain, "submit-on-broken-pool"
+                    )
                     continue
                 if not in_flight:
-                    continue  # everything just requeued or degraded
+                    if ready:
+                        # Everything queued is waiting out a backoff;
+                        # with nothing to harvest, sleeping to the
+                        # earliest deadline blocks no other work.
+                        pause = min(
+                            entry.not_before for entry in ready
+                        ) - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
+                    continue
 
-                timeout = None
+                deadlines: List[float] = []
                 if task_timeout is not None:
-                    now = time.monotonic()
-                    timeout = max(
-                        0.0,
-                        min(
-                            entry.started + task_timeout
-                            for entry in in_flight.values()
-                        )
-                        - now,
+                    deadlines.append(
+                        min(entry.started for entry in in_flight.values())
+                        + task_timeout
                     )
+                backoff_deadlines = [
+                    entry.not_before
+                    for entry in ready
+                    if entry.not_before > 0.0
+                ]
+                if backoff_deadlines and len(in_flight) < executor.capacity:
+                    # Wake when a deferred retry becomes submittable --
+                    # but only if there is a free slot to put it in.
+                    deadlines.append(min(backoff_deadlines))
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
                 done, _pending = wait(
                     set(in_flight), timeout=timeout,
                     return_when=FIRST_COMPLETED,
                 )
 
-                pool_broke = False
+                broken_domains: Dict[int, BaseException] = {}
                 for future in done:
-                    entry = in_flight.pop(future)
-                    state = report.tasks[entry.task.key]
+                    entry_in = in_flight.pop(future)
+                    domain = executor.domain_of(future)
+                    executor.release(future)
+                    state = report.tasks[entry_in.task.key]
                     try:
                         value = future.result()
                     except BrokenProcessPool as error:
-                        handle_failure(entry.task, entry.attempt, error)
-                        pool_broke = True
+                        handle_failure(entry_in.task, entry_in.attempt, error)
+                        broken_domains.setdefault(domain, error)
                     except Exception as error:
-                        handle_failure(entry.task, entry.attempt, error)
+                        handle_failure(entry_in.task, entry_in.attempt, error)
                     else:
-                        results[entry.task.key] = value
-                        state.outcome = (
-                            RunOutcome.OK
-                            if state.retries == 0
-                            else RunOutcome.RETRIED
-                        )
-                if pool_broke:
-                    drain_in_flight_as_broken(
-                        BrokenProcessPool("pool broke under concurrent tasks")
+                        results[entry_in.task.key] = value
+                        if state.retries == 0:
+                            state.outcome = RunOutcome.OK
+                            # A bystander requeue may have stashed an
+                            # error repr; the task never failed, so a
+                            # clean success must not carry one.
+                            state.error = None
+                        else:
+                            state.outcome = RunOutcome.RETRIED
+                for domain in sorted(broken_domains):
+                    drain_domain_as_broken(
+                        domain,
+                        BrokenProcessPool("pool broke under concurrent tasks"),
                     )
-                    rebuild_pool("broken-process-pool")
+                    recover_domain(domain, "broken-process-pool")
+                if broken_domains:
                     continue
 
                 if task_timeout is not None and in_flight:
                     now = time.monotonic()
                     overdue = {
                         future
-                        for future, entry in in_flight.items()
-                        if now - entry.started > task_timeout
+                        for future, entry_in in in_flight.items()
+                        if now - entry_in.started > task_timeout
                     }
-                    if overdue:
-                        # A running attempt cannot be cancelled; the only
-                        # way to reclaim the worker is to kill the pool.
-                        stranded = list(in_flight.items())
-                        in_flight.clear()
-                        for future, entry in stranded:
+                    for domain in sorted(
+                        {executor.domain_of(future) for future in overdue}
+                    ):
+                        # A running attempt cannot be cancelled; the
+                        # only way to reclaim the worker is to kill its
+                        # domain's pool.  Other domains keep running.
+                        stranded = [
+                            (future, entry_in)
+                            for future, entry_in in in_flight.items()
+                            if executor.domain_of(future) == domain
+                        ]
+                        for future, entry_in in stranded:
+                            del in_flight[future]
+                            executor.release(future)
+                            state = report.tasks[entry_in.task.key]
                             if future in overdue:
                                 handle_failure(
-                                    entry.task,
-                                    entry.attempt,
+                                    entry_in.task,
+                                    entry_in.attempt,
                                     TimeoutError(
-                                        f"task {entry.task.key!r} exceeded "
+                                        f"task {entry_in.task.key!r} exceeded "
                                         f"{task_timeout:g}s"
                                     ),
                                     timed_out=True,
                                 )
                             else:
                                 # Innocent bystander: same attempt index,
-                                # so its fault decisions replay unchanged.
-                                report.tasks[entry.task.key].retries += 1
-                                report.tasks[entry.task.key].error = (
-                                    _BYSTANDER_ERROR
+                                # so its fault decisions replay
+                                # unchanged.  Not a retry -- it never
+                                # failed -- so it is counted separately
+                                # and stays eligible for an OK outcome.
+                                state.bystander_requeues += 1
+                                ready.append(
+                                    _Ready(entry_in.task, entry_in.attempt)
                                 )
-                                ready.append((entry.task, entry.attempt))
-                        rebuild_pool("task-timeout")
+                        recover_domain(domain, "task-timeout")
 
             # Last resort: serial, in-process, injection suppressed.
             for task in degraded_queue:
@@ -271,10 +355,12 @@ def run_fanout(
 
             if phase_span is not None:
                 phase_span.attributes["fanout"] = {
+                    "backend": executor.name,
                     "outcomes": report.outcome_counts(),
                     "pool_rebuilds": report.pool_rebuilds,
                     "total_retries": report.total_retries,
+                    "bystander_requeues": report.total_bystander_requeues,
                 }
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        executor.shutdown()
     return results, report

@@ -36,6 +36,19 @@ class InjectedFault(RuntimeError):
     """A deliberately injected task failure (retryable by design)."""
 
 
+class InjectedCrash(InjectedFault):
+    """A crash fault fired while executing in-process.
+
+    Worker crashes are normally abrupt (``os._exit``), but in-process
+    executor backends (:class:`repro.faults.backends.SerialBackend`)
+    have no disposable worker process to kill.  Under
+    :func:`inline_execution` the same deterministic crash decision
+    raises this exception instead, so the scheduler still observes a
+    failed attempt at the same (token, attempt) coordinates and the
+    retry schedule replays identically across backends.
+    """
+
+
 @dataclass(frozen=True)
 class FaultContext:
     """Identity of one task attempt, passed from scheduler to worker."""
@@ -71,6 +84,13 @@ class FaultInjector:
             and ctx.attempt == 0
         ) or self._fire("crash", attempt_token, plan.crash_rate)
         if crash:
+            if inline():
+                # No disposable worker to kill: surface the same
+                # deterministic decision as an ordinary task failure.
+                raise InjectedCrash(
+                    f"injected worker crash for {ctx.token!r} "
+                    f"(attempt {ctx.attempt}, in-process)"
+                )
             # Abrupt worker death: no cleanup, no exception -- the
             # parent sees BrokenProcessPool, exactly like an OOM kill.
             os._exit(86)
@@ -104,6 +124,7 @@ class FaultInjector:
 _UNRESOLVED = object()
 _active: object = _UNRESOLVED
 _suppress_depth: int = 0
+_inline_depth: int = 0
 _in_worker: bool = False
 
 
@@ -161,6 +182,28 @@ def suppress() -> Iterator[None]:
 def suppressed() -> bool:
     """Whether fault injection is currently suppressed (see :func:`suppress`)."""
     return _suppress_depth > 0
+
+
+@contextlib.contextmanager
+def inline_execution() -> Iterator[None]:
+    """Mark the block as an in-process task attempt (re-entrant).
+
+    Injection stays *active* -- unlike :func:`suppress` -- but crash
+    faults raise :class:`InjectedCrash` instead of killing the process,
+    and worker wrappers must leave process-global state (the tracer,
+    the injector) alone because they share it with the scheduler.
+    """
+    global _inline_depth
+    _inline_depth += 1  # repro: noqa(REP301) -- scheduler-local execution-mode flag, paired restore below
+    try:
+        yield
+    finally:
+        _inline_depth -= 1  # repro: noqa(REP301) -- paired restore of the inline depth
+
+
+def inline() -> bool:
+    """Whether execution is currently in-process (see :func:`inline_execution`)."""
+    return _inline_depth > 0
 
 
 def in_worker() -> bool:

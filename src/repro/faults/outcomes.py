@@ -50,7 +50,12 @@ class TaskReport:
     attempts: int = 0
     """Pool attempts started (the serial fallback is not an attempt)."""
     retries: int = 0
-    """Requeues after a failure, pool breakage or timeout."""
+    """Requeues after a failure of *this* task (exception, breakage,
+    timeout).  Bystander requeues are counted separately."""
+    bystander_requeues: int = 0
+    """Requeues at the same attempt index because a *concurrent* task
+    broke or hung this task's fault domain.  Not failures: a task whose
+    only requeues were as a bystander still finishes ``OK``."""
     timeouts: int = 0
     """How many attempts were abandoned for exceeding the task timeout."""
     degraded: bool = False
@@ -64,6 +69,7 @@ class TaskReport:
             "outcome": self.outcome.value,
             "attempts": self.attempts,
             "retries": self.retries,
+            "bystander_requeues": self.bystander_requeues,
             "timeouts": self.timeouts,
             "degraded": self.degraded,
             "error": self.error,
@@ -76,7 +82,10 @@ class FanoutReport:
 
     tasks: Dict[Any, TaskReport] = field(default_factory=dict)
     pool_rebuilds: int = 0
-    """Times the process pool was rebuilt (crash or timeout recovery)."""
+    """Times a worker pool (fault domain) was rebuilt after a crash or
+    timeout recovery."""
+    backend: Optional[str] = None
+    """Name of the executor backend the fan-out ran on, if known."""
 
     def outcome(self, key: Any) -> Optional[RunOutcome]:
         """The outcome recorded for ``key``, or ``None`` if unscheduled."""
@@ -93,6 +102,12 @@ class FanoutReport:
     @property
     def total_retries(self) -> int:
         return sum(report.retries for report in self.tasks.values())
+
+    @property
+    def total_bystander_requeues(self) -> int:
+        return sum(
+            report.bystander_requeues for report in self.tasks.values()
+        )
 
     @property
     def degraded_keys(self) -> List[Any]:
@@ -121,14 +136,18 @@ class FanoutReport:
         """
         self.tasks.update(other.tasks)
         self.pool_rebuilds += other.pool_rebuilds
+        if self.backend is None:
+            self.backend = other.backend
         return self
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe form for span attributes and run manifests."""
         return {
+            "backend": self.backend,
             "outcomes": self.outcome_counts(),
             "pool_rebuilds": self.pool_rebuilds,
             "total_retries": self.total_retries,
+            "bystander_requeues": self.total_bystander_requeues,
             "tasks": [
                 report.as_dict()
                 for _key, report in sorted(

@@ -1,0 +1,117 @@
+"""HBM-class wide-interface stack as a PIM substrate.
+
+High Bandwidth Memory reaches the host over a silicon interposer with a
+very wide parallel interface (1024 bits per stack) instead of HMC's
+narrow high-speed serial links.  For the A-TFIM design space this
+changes two things relative to HMC:
+
+* the **external** interface is both faster per stack (~307 GB/s for an
+  HBM2-class stack at 2.4 Gb/s/pin) and lower latency -- no SerDes, so
+  crossing the interposer costs a few GPU cycles rather than tens;
+* the **internal** headroom for near-memory filtering is smaller.  PIM
+  proposals on HBM (base-die logic reaching the DRAM dies over TSVs,
+  cf. the FIMDRAM/HBM-PIM line of work) roughly double the deliverable
+  bandwidth by exploiting bank-group parallelism under the full TSV
+  column, rather than HMC's 1.6x vault aggregate.
+
+The stack is modelled as a parameterization of the vault-based cube
+abstraction (:class:`~repro.memory.hmc.HybridMemoryCube`): the 16
+pseudo-channels play the role of vaults, the interposer interface plays
+the role of the link pair, and the base-die PIM path is the internal
+TSV path.  :meth:`HbmConfig.cube_config` performs that mapping, so the
+entire simulation stack (interfaces, TFIM paths, invariants) runs
+unchanged on HBM-backed designs.
+
+Narrower external/internal asymmetry (2x rather than 1.6x -- but from a
+much higher external baseline) is what makes the A-TFIM crossover move:
+offloading saves less traffic *headroom* per fetch, so the crossover
+surface shifts toward workloads with higher anisotropic amplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.hmc import HmcConfig, HybridMemoryCube
+from repro.units import Cycles, GigabytesPerSecond
+
+
+@dataclass(frozen=True)
+class HbmConfig:
+    """One HBM2-class stack with a PIM-capable base die."""
+
+    stack_bandwidth_gb_per_s: GigabytesPerSecond = GigabytesPerSecond(307.2)
+    """Peak interposer bandwidth of one stack: 1024 pins x 2.4 Gb/s."""
+
+    pim_bandwidth_gb_per_s: GigabytesPerSecond = GigabytesPerSecond(614.4)
+    """Aggregate bandwidth the base-die filtering units can draw from
+    the DRAM dies: ~2x the interface rate via all-bank-group
+    parallelism, the figure HBM-PIM style proposals report."""
+
+    num_pseudo_channels: int = 16
+    """Independent 64-bit pseudo-channels per stack (HBM2)."""
+
+    banks_per_pseudo_channel: int = 16
+
+    interface_latency_cycles: Cycles = Cycles(8.0)
+    """GPU cycles to cross the interposer, one direction.  Parallel
+    wires, no serialization/deserialization: far below HMC's link
+    latency."""
+
+    bank_access_latency_cycles: Cycles = Cycles(40.0)
+    """Bank access pipeline, matching the HMC vault figure (same DRAM
+    process; the designs differ in interconnect, not in cells)."""
+
+    tsv_latency_cycles: Cycles = Cycles(1.0)
+
+    def __post_init__(self) -> None:
+        if self.stack_bandwidth_gb_per_s <= 0:
+            raise ValueError("stack bandwidth must be positive")
+        if self.pim_bandwidth_gb_per_s < self.stack_bandwidth_gb_per_s:
+            raise ValueError(
+                "PIM-side bandwidth must be >= the interposer bandwidth; "
+                "near-memory filtering on HBM is pointless otherwise"
+            )
+        if self.num_pseudo_channels <= 0 or self.banks_per_pseudo_channel <= 0:
+            raise ValueError("pseudo-channel/bank counts must be positive")
+
+    def cube_config(
+        self,
+        bandwidth_scale: float = 1.0,
+        link_bandwidth_scale: float = 1.0,
+    ) -> HmcConfig:
+        """Map the stack onto the vault-based cube abstraction.
+
+        ``bandwidth_scale`` is the workload's miniature-frame divisor
+        (see :attr:`repro.workloads.games.GameWorkload.bandwidth_scale`)
+        and ``link_bandwidth_scale`` scales the *external* interface
+        only -- the sweep axis that widens or narrows the
+        external/internal asymmetry.  Internal bandwidth is floored at
+        the external rate to keep the PIM premise intact.
+        """
+        if bandwidth_scale <= 0 or link_bandwidth_scale <= 0:
+            raise ValueError("bandwidth scales must be positive")
+        external = GigabytesPerSecond(
+            self.stack_bandwidth_gb_per_s / bandwidth_scale
+            * link_bandwidth_scale
+        )
+        internal = GigabytesPerSecond(
+            max(self.pim_bandwidth_gb_per_s / bandwidth_scale, external)
+        )
+        return HmcConfig(
+            external_bandwidth_gb_per_s=external,
+            internal_bandwidth_gb_per_s=internal,
+            num_vaults=self.num_pseudo_channels,
+            banks_per_vault=self.banks_per_pseudo_channel,
+            link_latency_cycles=self.interface_latency_cycles,
+            tsv_latency_cycles=self.tsv_latency_cycles,
+            vault_access_latency_cycles=self.bank_access_latency_cycles,
+        )
+
+
+class HbmStack(HybridMemoryCube):
+    """A live HBM stack: the cube service loops under the HBM mapping."""
+
+    def __init__(self, config: HbmConfig | None = None) -> None:
+        self.hbm_config = config or HbmConfig()
+        super().__init__(self.hbm_config.cube_config())

@@ -1,0 +1,113 @@
+"""UPMEM-like near-bank PIM over a commodity DIMM interface.
+
+The opposite corner of the PIM design space from HMC/HBM: processing
+units sit *next to each DRAM bank* (UPMEM's DPU-per-bank organisation,
+cf. Gomez-Luna et al.'s PRIM characterisation), so the aggregate
+near-bank bandwidth is enormous -- every bank's row buffer is a private
+port -- while the **host interface is an ordinary DDR4-class channel**,
+an order of magnitude below HMC's links.  Latency is also worse on both
+sides: the host crosses a standard memory controller, and the near-bank
+pipelines are built in the DRAM process, clocking far below a logic
+die.
+
+Mapped onto the vault-based cube abstraction
+(:class:`~repro.memory.hmc.HybridMemoryCube`): each rank-level cluster
+of banks with its processing units is a "vault", the DDR channel is the
+"link" pair, and the near-bank path is the internal path.
+
+For the A-TFIM crossover this is the most offload-favourable backend by
+*ratio* (internal/external = 32x rather than HMC's 1.6x) but the least
+favourable by *absolute* host bandwidth: designs that keep filtering on
+the GPU starve on the DDR interface, so the crossover arrives at much
+lower anisotropy than on HMC -- exactly the regime the sweep surface in
+EXPERIMENTS.md maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.hmc import HmcConfig, HybridMemoryCube
+from repro.units import Cycles, GigabytesPerSecond
+
+
+@dataclass(frozen=True)
+class NearBankPimConfig:
+    """A near-bank PIM module behind a DDR4-class host channel."""
+
+    host_bandwidth_gb_per_s: GigabytesPerSecond = GigabytesPerSecond(64.0)
+    """Host-visible channel bandwidth (dual-channel DDR4-2400 class;
+    UPMEM modules ride standard DIMM slots)."""
+
+    near_bank_bandwidth_gb_per_s: GigabytesPerSecond = GigabytesPerSecond(
+        2048.0
+    )
+    """Aggregate row-buffer bandwidth the per-bank units can draw; each
+    bank is a private port, so this scales with the bank count rather
+    than any shared interface."""
+
+    num_clusters: int = 64
+    """Rank-level clusters of banks with their processing units (the
+    "vaults" of the cube mapping)."""
+
+    banks_per_cluster: int = 2
+
+    channel_latency_cycles: Cycles = Cycles(48.0)
+    """GPU cycles to cross the host memory controller and DDR channel,
+    one direction -- the slowest interface of the three backends."""
+
+    near_bank_access_latency_cycles: Cycles = Cycles(96.0)
+    """Bank access through a DRAM-process pipeline: the near-bank units
+    clock several times slower than logic-die units."""
+
+    tsv_latency_cycles: Cycles = Cycles(2.0)
+
+    def __post_init__(self) -> None:
+        if self.host_bandwidth_gb_per_s <= 0:
+            raise ValueError("host bandwidth must be positive")
+        if self.near_bank_bandwidth_gb_per_s < self.host_bandwidth_gb_per_s:
+            raise ValueError(
+                "near-bank aggregate must be >= the host channel; "
+                "per-bank ports cannot be slower than the shared bus"
+            )
+        if self.num_clusters <= 0 or self.banks_per_cluster <= 0:
+            raise ValueError("cluster/bank counts must be positive")
+
+    def cube_config(
+        self,
+        bandwidth_scale: float = 1.0,
+        link_bandwidth_scale: float = 1.0,
+    ) -> HmcConfig:
+        """Map the module onto the vault-based cube abstraction.
+
+        Scaling mirrors :meth:`repro.memory.hbm.HbmConfig.cube_config`:
+        ``bandwidth_scale`` divides both sides for the miniature frame,
+        ``link_bandwidth_scale`` sweeps the host channel only, and the
+        near-bank aggregate is floored at the host rate.
+        """
+        if bandwidth_scale <= 0 or link_bandwidth_scale <= 0:
+            raise ValueError("bandwidth scales must be positive")
+        external = GigabytesPerSecond(
+            self.host_bandwidth_gb_per_s / bandwidth_scale
+            * link_bandwidth_scale
+        )
+        internal = GigabytesPerSecond(
+            max(self.near_bank_bandwidth_gb_per_s / bandwidth_scale, external)
+        )
+        return HmcConfig(
+            external_bandwidth_gb_per_s=external,
+            internal_bandwidth_gb_per_s=internal,
+            num_vaults=self.num_clusters,
+            banks_per_vault=self.banks_per_cluster,
+            link_latency_cycles=self.channel_latency_cycles,
+            tsv_latency_cycles=self.tsv_latency_cycles,
+            vault_access_latency_cycles=self.near_bank_access_latency_cycles,
+        )
+
+
+class NearBankPimMemory(HybridMemoryCube):
+    """A live near-bank module: cube service loops under the mapping."""
+
+    def __init__(self, config: NearBankPimConfig | None = None) -> None:
+        self.nearbank_config = config or NearBankPimConfig()
+        super().__init__(self.nearbank_config.cube_config())

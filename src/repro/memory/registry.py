@@ -1,0 +1,125 @@
+"""Named memory-backend registry for the design-space sweep axes.
+
+The TFIM designs read their memory system from one
+:class:`~repro.memory.hmc.HmcConfig` -- the vault-based cube
+abstraction every backend maps onto.  This registry names those
+mappings so sweep definitions (and ``DesignConfig.memory_backend``) can
+treat the memory substrate as a categorical axis:
+
+``hmc``
+    the paper's Hybrid Memory Cube (320 GB/s serial links, 512 GB/s
+    across 32 vaults) -- the default, bit-identical to the historical
+    hard-wired configuration;
+``hbm``
+    an HBM2-class interposer stack with base-die PIM
+    (:mod:`repro.memory.hbm`): faster, lower-latency external
+    interface, narrower internal headroom;
+``nearbank``
+    a UPMEM-like near-bank module behind a DDR4-class channel
+    (:mod:`repro.memory.nearbank`): weak host interface, massive
+    internal aggregate.
+
+Each spec scales with the workload's miniature-frame
+``bandwidth_scale`` (preserving the inter-backend ratios, like the
+hard-wired GDDR5/HMC numbers always have) and with the sweep's
+``link_bandwidth_scale`` axis, which multiplies the *external*
+interface only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.memory.hbm import HbmConfig
+from repro.memory.hmc import HmcConfig
+from repro.memory.nearbank import NearBankPimConfig
+from repro.units import GigabytesPerSecond
+
+
+def _hmc_cube_config(
+    bandwidth_scale: float, link_bandwidth_scale: float
+) -> HmcConfig:
+    """The paper's HMC, scaled exactly as ``GameWorkload.hmc_config``."""
+    if bandwidth_scale <= 0 or link_bandwidth_scale <= 0:
+        raise ValueError("bandwidth scales must be positive")
+    external = GigabytesPerSecond(
+        320.0 / bandwidth_scale * link_bandwidth_scale
+    )
+    internal = GigabytesPerSecond(
+        max(512.0 / bandwidth_scale, external)
+    )
+    return HmcConfig(
+        external_bandwidth_gb_per_s=external,
+        internal_bandwidth_gb_per_s=internal,
+    )
+
+
+def _hbm_cube_config(
+    bandwidth_scale: float, link_bandwidth_scale: float
+) -> HmcConfig:
+    return HbmConfig().cube_config(bandwidth_scale, link_bandwidth_scale)
+
+
+def _nearbank_cube_config(
+    bandwidth_scale: float, link_bandwidth_scale: float
+) -> HmcConfig:
+    return NearBankPimConfig().cube_config(
+        bandwidth_scale, link_bandwidth_scale
+    )
+
+
+@dataclass(frozen=True)
+class MemoryBackendSpec:
+    """One named memory substrate the TFIM designs can run on."""
+
+    name: str
+    summary: str
+    make_cube_config: Callable[[float, float], HmcConfig]
+    """``(bandwidth_scale, link_bandwidth_scale) -> HmcConfig``."""
+
+
+MEMORY_BACKENDS: Dict[str, MemoryBackendSpec] = {
+    spec.name: spec
+    for spec in (
+        MemoryBackendSpec(
+            name="hmc",
+            summary=(
+                "Hybrid Memory Cube (paper Table I): 320 GB/s serial "
+                "links, 512 GB/s over 32 vaults"
+            ),
+            make_cube_config=_hmc_cube_config,
+        ),
+        MemoryBackendSpec(
+            name="hbm",
+            summary=(
+                "HBM2-class interposer stack with base-die PIM: "
+                "307 GB/s low-latency interface, 614 GB/s all-bank PIM"
+            ),
+            make_cube_config=_hbm_cube_config,
+        ),
+        MemoryBackendSpec(
+            name="nearbank",
+            summary=(
+                "UPMEM-like near-bank PIM: 64 GB/s DDR4-class host "
+                "channel, 2 TB/s aggregate at the banks"
+            ),
+            make_cube_config=_nearbank_cube_config,
+        ),
+    )
+}
+
+
+def memory_backend_names() -> Tuple[str, ...]:
+    return tuple(MEMORY_BACKENDS)
+
+
+def memory_backend(name: str) -> MemoryBackendSpec:
+    """Look up a backend spec; raise with the known names otherwise."""
+    try:
+        return MEMORY_BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown memory backend {name!r}; "
+            f"known: {', '.join(memory_backend_names())}"
+        ) from None

@@ -22,6 +22,13 @@ Three benchmarks, written as machine-readable JSON at the repo root:
     cold (warm-up replay against empty caches) and warm (measured replay
     against warmed caches), with an end-result identity check on the
     makespan, latency histogram, per-cluster counts, and traffic.
+``BENCH_sweep.json``
+    A tiny sampled design-space sweep (:mod:`repro.experiments.sweep`)
+    executed once per executor backend (serial, process-pool,
+    work-stealing), each against its own empty disk cache, with a
+    bit-identity check over every sweep point's result signature.  The
+    identity check always gates: a divergent backend is a scheduler
+    bug, never a performance trade-off.
 ``BENCH_lint.json``
     The static-analysis pass (four rule families over the whole repo)
     serial vs fanned out over :func:`repro.faults.run_fanout`, with a
@@ -52,6 +59,7 @@ BENCH_RUNNER_FILENAME = "BENCH_runner.json"
 BENCH_TRACING_FILENAME = "BENCH_tracing.json"
 BENCH_LINT_FILENAME = "BENCH_lint.json"
 BENCH_FRAME_FILENAME = "BENCH_frame.json"
+BENCH_SWEEP_FILENAME = "BENCH_sweep.json"
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -534,6 +542,84 @@ def bench_lint(
     }
 
 
+def bench_sweep(
+    workload_names: Optional[Sequence[str]] = None,
+    points: int = 8,
+    jobs: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Run one sampled sweep per executor backend; demand identical results.
+
+    The same deterministic ``points``-point sample is executed through
+    every backend in :data:`repro.faults.BACKEND_NAMES`, each over its
+    own empty cache directory (agreement must come from recomputation,
+    not from reading a sibling's cache).  The signature map -- sweep
+    token to (frame cycles, texture cycles, external texture bytes,
+    request count) -- must match the serial backend's exactly.
+    """
+    import os
+
+    from repro.experiments.cache import source_version
+    from repro.experiments.runner import FAST_WORKLOADS
+    from repro.experiments.sweep import SweepDefinition, run_sweep
+    from repro.faults import BACKEND_NAMES, FAST_RETRIES
+
+    names = list(workload_names or FAST_WORKLOADS[:1])
+    if jobs is None:
+        jobs = max(2, min(4, os.cpu_count() or 1))
+    definition = SweepDefinition(
+        name="bench-smoke",
+        workloads=tuple(names),
+        thresholds=(0.005, 0.0314159),
+        link_scales=(0.5, 1.0),
+        seed=seed,
+    )
+    sample = definition.sample(points)
+    backends: List[Dict[str, Any]] = []
+    signatures: Dict[str, Dict[str, Any]] = {}
+    for backend in BACKEND_NAMES:
+        with tempfile.TemporaryDirectory(
+            prefix=f"repro-sweep-{backend}-"
+        ) as cache_dir:
+            started = time.perf_counter()
+            result = run_sweep(
+                definition,
+                points=sample,
+                cache_dir=cache_dir,
+                jobs=jobs,
+                backend=backend,
+                retry_policy=FAST_RETRIES,
+            )
+            elapsed = time.perf_counter() - started
+        signatures[backend] = {
+            token: list(signature)
+            for token, signature in sorted(result.signatures().items())
+        }
+        backends.append({
+            "backend": backend,
+            "seconds": elapsed,
+            "records": len(result.records),
+            "missing": len(result.missing),
+            "unique_runs": result.unique_runs,
+            "identical_to_serial": signatures[backend]
+            == signatures[BACKEND_NAMES[0]],
+        })
+    return {
+        "schema": "repro-bench-sweep/1",
+        "source_version": source_version(),
+        "workloads": names,
+        "points": len(sample),
+        "jobs": jobs,
+        "backends": backends,
+        "summary": {
+            "identical_results": all(
+                entry["identical_to_serial"] for entry in backends
+            ),
+            "complete": all(entry["missing"] == 0 for entry in backends),
+        },
+    }
+
+
 def run_bench(
     fast: bool = False,
     jobs: Optional[int] = None,
@@ -631,6 +717,17 @@ def run_bench(
         )
     print(f"wrote {parity_path}")
 
+    sweep = bench_sweep(names if not fast else names[:1], jobs=jobs)
+    sweep_path = out / BENCH_SWEEP_FILENAME
+    sweep_path.write_text(json.dumps(sweep, indent=2) + "\n")
+    for entry in sweep["backends"]:
+        print(
+            f"sweep {entry['backend']:13s} {entry['seconds']:6.2f}s  "
+            f"{entry['records']} points / {entry['unique_runs']} runs  "
+            f"identical: {entry['identical_to_serial']}"
+        )
+    print(f"wrote {sweep_path}")
+
     lint = bench_lint(jobs=jobs)
     lint_path = out / BENCH_LINT_FILENAME
     lint_path.write_text(json.dumps(lint, indent=2) + "\n")
@@ -674,6 +771,15 @@ def run_bench(
             "FAIL: numpy ufunc results depend on batch shape -- the "
             "canonical-kernel bit-identity strategy is unsound on this "
             "toolchain (see PARITY_math.json)"
+        )
+        return 1
+    if not sweep["summary"]["complete"]:
+        print("FAIL: a sweep backend dropped points (see BENCH_sweep.json)")
+        return 1
+    if not sweep["summary"]["identical_results"]:
+        print(
+            "FAIL: executor backends disagree on sweep results -- the "
+            "scheduler leaked nondeterminism (see BENCH_sweep.json)"
         )
         return 1
     if not lint["identical_findings"]:

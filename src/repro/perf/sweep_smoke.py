@@ -1,0 +1,57 @@
+"""``python -m repro.perf.sweep_smoke``: the cross-backend sweep gate.
+
+Runs :func:`repro.perf.bench.bench_sweep` -- the same tiny sampled
+sweep through every executor backend, each over its own empty cache --
+writes ``BENCH_sweep.json``, and exits non-zero if any backend dropped
+points or diverged from the serial reference.  ``make sweep-smoke`` and
+the CI sweep job are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.perf.bench import BENCH_SWEEP_FILENAME, bench_sweep
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.sweep_smoke",
+        description="tiny sampled sweep through each executor backend; "
+        "fails on cross-backend divergence",
+    )
+    parser.add_argument("--points", type=int, default=6,
+                        help="sampled point budget (default: 6)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes per backend (default: 2)")
+    parser.add_argument("--output-dir", default=".",
+                        help="directory for BENCH_sweep.json (default: cwd)")
+    args = parser.parse_args(argv)
+
+    result = bench_sweep(points=args.points, jobs=args.jobs)
+    path = Path(args.output_dir) / BENCH_SWEEP_FILENAME
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    for entry in result["backends"]:
+        print(
+            f"{entry['backend']:13s} {entry['seconds']:6.2f}s  "
+            f"{entry['records']} points / {entry['unique_runs']} runs  "
+            f"identical: {entry['identical_to_serial']}"
+        )
+    print(f"wrote {path}")
+    summary = result["summary"]
+    if not summary["complete"]:
+        print("FAIL: a backend dropped sweep points")
+        return 1
+    if not summary["identical_results"]:
+        print("FAIL: executor backends disagree on sweep results")
+        return 1
+    print("all executor backends bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.core.designs import Design, DesignConfig
 from repro.gpu.config import GPUConfig
 from repro.memory.gddr5 import Gddr5Config
 from repro.memory.hmc import HmcConfig
+from repro.memory.registry import memory_backend as memory_backend_spec
 from repro.render.camera import Camera
 from repro.render.renderer import Renderer
 from repro.render.scene import Scene
@@ -168,10 +169,21 @@ class GameWorkload:
             bandwidth_gb_per_s=128.0 / self.bandwidth_scale,
         )
 
-    def hmc_config(self) -> HmcConfig:
-        return HmcConfig(
-            external_bandwidth_gb_per_s=320.0 / self.bandwidth_scale,
-            internal_bandwidth_gb_per_s=512.0 / self.bandwidth_scale,
+    def hmc_config(
+        self,
+        memory_backend: str = "hmc",
+        link_bandwidth_scale: float = 1.0,
+    ) -> HmcConfig:
+        """The PIM substrate's cube config, scaled for this workload.
+
+        ``memory_backend`` names a :mod:`repro.memory.registry` spec
+        (hmc / hbm / nearbank); ``link_bandwidth_scale`` multiplies the
+        external interface only.  The defaults reproduce the paper's
+        HMC figures exactly.
+        """
+        spec = memory_backend_spec(memory_backend)
+        return spec.make_cube_config(
+            self.bandwidth_scale, link_bandwidth_scale
         )
 
     def design_config(self, design: Design, **overrides) -> DesignConfig:
@@ -179,11 +191,16 @@ class GameWorkload:
 
         Applies the workload's scaled GPU caches, scaled memory
         bandwidth, and the angle-threshold scale compensation (see
-        :class:`~repro.core.designs.DesignConfig`).
+        :class:`~repro.core.designs.DesignConfig`).  ``memory_backend``
+        and ``link_bandwidth_scale`` overrides select and scale the PIM
+        substrate through the registry; an explicit ``hmc`` override
+        still wins.
         """
         overrides.setdefault("angle_threshold_scale", float(self.sim_scale))
         overrides.setdefault("gddr5", self.gddr5_config())
-        overrides.setdefault("hmc", self.hmc_config())
+        backend = overrides.setdefault("memory_backend", "hmc")
+        link_scale = overrides.setdefault("link_bandwidth_scale", 1.0)
+        overrides.setdefault("hmc", self.hmc_config(backend, link_scale))
         return DesignConfig(design=design, gpu=self.gpu_config(), **overrides)
 
 

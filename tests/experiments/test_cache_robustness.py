@@ -162,3 +162,48 @@ class TestParallelWarmRunWithEviction:
         stats = rerun.cache_stats()  # introspection over the mutated tree
         assert stats.disk_entries >= 0
         assert stats.disk_bytes >= 0
+
+
+class TestKeyCanonicalization:
+    """Keys must be process-independent; reject what cannot be."""
+
+    def test_plain_object_payload_rejected(self, cache):
+        # A default object repr embeds its address -- different per
+        # process.  The old ``default=str`` fallback silently produced
+        # a per-process key; now it is a hard error naming the path.
+        with pytest.raises(TypeError, match=r"payload\.marker"):
+            cache.key("unit", marker=object())
+
+    def test_nested_offender_named_by_path(self, cache):
+        with pytest.raises(TypeError, match=r"payload\.grid\[1\]\.design"):
+            cache.key(
+                "unit",
+                grid=[{"design": "ok"}, {"design": object()}],
+            )
+
+    def test_non_string_mapping_key_rejected(self, cache):
+        with pytest.raises(TypeError, match="non-string"):
+            cache.key("unit", table={1: "a"})
+
+    def test_non_finite_float_rejected(self, cache):
+        with pytest.raises(TypeError, match="non-finite"):
+            cache.key("unit", threshold=float("nan"))
+
+    def test_canonical_payloads_are_stable(self, cache):
+        first = cache.key(
+            "unit",
+            workload="doom3-640x480",
+            threshold=0.0314159,
+            aniso=True,
+            axes=("hmc", "hbm"),
+            nested={"link_scale": [0.5, 1.0]},
+        )
+        second = cache.key(
+            "unit",
+            workload="doom3-640x480",
+            threshold=0.0314159,
+            aniso=True,
+            axes=["hmc", "hbm"],  # tuple and list canonicalize alike
+            nested={"link_scale": [0.5, 1.0]},
+        )
+        assert first == second

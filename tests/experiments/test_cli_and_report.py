@@ -3,7 +3,8 @@
 import pytest
 
 from repro.cli import main
-from repro.experiments.report import generate
+from repro.experiments.report import _carried_sections, generate
+from repro.experiments.sweep import SURFACE_HEADING
 
 
 class TestCli:
@@ -39,3 +40,28 @@ class TestReport:
         assert "fig14" in text
         assert "sec7e" in text
         assert "riddick-640x480" in text
+
+
+class TestCarriedSections:
+    """Regeneration must not clobber the sweep crossover surface."""
+
+    def test_missing_file_and_missing_section(self, tmp_path):
+        assert _carried_sections(tmp_path / "absent.md") == ""
+        plain = tmp_path / "plain.md"
+        plain.write_text("# Report\n\n## Table I\n\ndata\n")
+        assert _carried_sections(plain) == ""
+
+    def test_extracts_trailing_surface_section(self, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        section = f"{SURFACE_HEADING}\n\n| a | b |\n|---|---|\n| 1 | 2 |\n"
+        path.write_text(
+            "# Report\n\n## Table I\n\ndata\n\n---\nGenerated in 1 s.\n\n"
+            + section
+        )
+        assert _carried_sections(path) == section
+
+    def test_stops_at_next_heading(self, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        section = f"{SURFACE_HEADING}\n\nsurface rows\n"
+        path.write_text("# Report\n\n" + section + "\n## Later section\n\nx\n")
+        assert _carried_sections(path) == section

@@ -53,6 +53,33 @@ def _hang_first(value, ctx=None):
     return value
 
 
+def _record_completion(value, out_dir, ctx=None):
+    stamp = time.monotonic()  # repro: noqa(REP108) -- test measures wall time
+    with open(os.path.join(out_dir, f"done-{value}"), "w") as handle:
+        handle.write(repr(stamp))
+    return value
+
+
+def _pause_then_return(value, seconds, ctx=None):
+    time.sleep(seconds)
+    return value
+
+
+def _hang_once_marked(value, marker_dir, ctx=None):
+    """Sleep 30 s on the first invocation ever, return instantly after.
+
+    A file marker (not ``ctx.attempt``) decides, because a bystander
+    requeue deliberately replays the same attempt index.
+    """
+    marker = os.path.join(marker_dir, f"ran-{value}")
+    first = not os.path.exists(marker)
+    with open(marker, "a"):
+        pass
+    if first and ctx is not None:
+        time.sleep(30.0)
+    return value
+
+
 class TestHappyPath:
     def test_all_ok(self):
         tasks = [FanoutTask(key=i, fn=_double, args=(i,)) for i in range(5)]
@@ -148,6 +175,39 @@ class TestPoolBreakage:
         )
 
 
+class TestNonBlockingBackoff:
+    def test_other_tasks_complete_during_backoff(self, tmp_path):
+        """A long retry backoff must not stall the scheduling loop.
+
+        ``lagging`` fails its first attempt and backs off 1.2 s; the
+        fast tasks behind it in the queue must all complete well before
+        that backoff elapses (the old scheduler slept inside
+        ``handle_failure``, freezing submission and harvesting).
+        """
+        policy = RetryPolicy(
+            max_attempts=2, base_delay=1.2, multiplier=1.0,
+            max_delay=1.2, jitter=0.0,
+        )
+        tasks = [FanoutTask(key="lagging", fn=_flaky, args=(99, 1))] + [
+            FanoutTask(
+                key=f"fast-{i}", fn=_record_completion,
+                args=(i, str(tmp_path)),
+            )
+            for i in range(4)
+        ]
+        started = time.monotonic()  # repro: noqa(REP108) -- asserting wall time
+        results, report = run_fanout(tasks, jobs=2, policy=policy)
+        elapsed = time.monotonic() - started  # repro: noqa(REP108) -- ditto
+        assert results["lagging"] == 99
+        assert report.tasks["lagging"].retries == 1
+        # The retried task itself must wait out its 1.2 s backoff ...
+        assert elapsed >= 1.2
+        # ... but every fast task finished while it was waiting.
+        for i in range(4):
+            stamp = float((tmp_path / f"done-{i}").read_text())
+            assert stamp - started < 1.0, f"fast-{i} stalled behind backoff"
+
+
 class TestTimeouts:
     def test_hung_task_is_reclaimed(self):
         tasks = [FanoutTask(key="slow", fn=_hang_first, args=(5,))]
@@ -161,4 +221,40 @@ class TestTimeouts:
         state = report.tasks["slow"]
         assert state.timeouts == 1
         assert state.outcome is RunOutcome.RETRIED
+        assert report.pool_rebuilds >= 1
+
+    def test_bystander_requeue_is_not_a_retry(self, tmp_path):
+        """A task requeued only because a *concurrent* task hung must
+        finish ``OK``: no retry charged, no stale error string, the
+        requeue counted in ``bystander_requeues`` instead.
+        """
+        tasks = [
+            FanoutTask(
+                key="slow", fn=_hang_once_marked,
+                args=(5, str(tmp_path)),
+            ),
+            # Staggers the bystander's start 0.3 s behind "slow" so it
+            # is mid-flight but clearly under budget at reclaim time.
+            FanoutTask(key="pace", fn=_pause_then_return, args=(1, 0.3)),
+            FanoutTask(
+                key="bystander", fn=_hang_once_marked,
+                args=(8, str(tmp_path)),
+            ),
+        ]
+        results, report = run_fanout(
+            tasks, jobs=2, policy=FAST_RETRIES, task_timeout=1.0
+        )
+        assert results == {"slow": 5, "pace": 1, "bystander": 8}
+        bystander = report.tasks["bystander"]
+        assert bystander.outcome is RunOutcome.OK
+        assert bystander.retries == 0
+        assert bystander.bystander_requeues == 1
+        assert bystander.timeouts == 0
+        assert bystander.error is None
+        assert bystander.attempts == 2  # resubmitted at the same index
+        slow = report.tasks["slow"]
+        assert slow.outcome is RunOutcome.RETRIED
+        assert slow.timeouts == 1
+        assert report.total_retries == 1  # only "slow"; no inflation
+        assert report.total_bystander_requeues == 1
         assert report.pool_rebuilds >= 1

@@ -1,0 +1,198 @@
+"""Memory-backend registry: HBM / near-bank substrates + design wiring."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.designs import Design, DesignConfig
+from repro.memory.hbm import HbmConfig, HbmStack
+from repro.memory.hmc import HmcConfig
+from repro.memory.nearbank import NearBankPimConfig, NearBankPimMemory
+from repro.memory.registry import (
+    MEMORY_BACKENDS,
+    memory_backend,
+    memory_backend_names,
+)
+from repro.workloads.games import workload_by_name
+
+WORKLOAD = "riddick-640x480"
+
+
+class TestRegistry:
+    def test_names(self):
+        assert memory_backend_names() == ("hmc", "hbm", "nearbank")
+
+    def test_lookup_returns_spec(self):
+        for name in memory_backend_names():
+            spec = memory_backend(name)
+            assert spec.name == name
+            assert spec is MEMORY_BACKENDS[name]
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="hmc, hbm, nearbank"):
+            memory_backend("optane")
+
+    def test_every_spec_builds_a_cube_config(self):
+        for spec in MEMORY_BACKENDS.values():
+            config = spec.make_cube_config(1.0, 1.0)
+            assert isinstance(config, HmcConfig)
+            assert config.internal_bandwidth_gb_per_s >= (
+                config.external_bandwidth_gb_per_s
+            )
+
+    def test_hmc_spec_matches_historical_hard_wiring(self):
+        """The default backend is bit-identical to the old hmc_config."""
+        workload = workload_by_name(WORKLOAD)
+        scale = workload.bandwidth_scale
+        config = memory_backend("hmc").make_cube_config(scale, 1.0)
+        assert config == HmcConfig(
+            external_bandwidth_gb_per_s=320.0 / scale,
+            internal_bandwidth_gb_per_s=512.0 / scale,
+        )
+        assert config == workload.hmc_config()
+
+    def test_rejects_nonpositive_scales(self):
+        for spec in MEMORY_BACKENDS.values():
+            with pytest.raises(ValueError, match="positive"):
+                spec.make_cube_config(0.0, 1.0)
+            with pytest.raises(ValueError, match="positive"):
+                spec.make_cube_config(1.0, -1.0)
+
+
+class TestHbm:
+    def test_defaults_map_onto_cube(self):
+        config = HbmConfig().cube_config()
+        assert config.external_bandwidth_gb_per_s == pytest.approx(307.2)
+        assert config.internal_bandwidth_gb_per_s == pytest.approx(614.4)
+        assert config.num_vaults == 16
+        assert config.banks_per_vault == 16
+        assert config.link_latency_cycles == 8.0
+        assert config.vault_access_latency_cycles == 40.0
+
+    def test_lower_latency_higher_external_than_hmc(self):
+        """The qualitative contrast the backend exists to provide."""
+        hbm = HbmConfig().cube_config()
+        hmc = memory_backend("hmc").make_cube_config(1.0, 1.0)
+        assert hbm.link_latency_cycles < hmc.link_latency_cycles
+        assert hbm.external_bandwidth_gb_per_s < hmc.external_bandwidth_gb_per_s * 1.05
+        ratio_hbm = hbm.internal_bandwidth_gb_per_s / hbm.external_bandwidth_gb_per_s
+        ratio_hmc = hmc.internal_bandwidth_gb_per_s / hmc.external_bandwidth_gb_per_s
+        assert ratio_hbm > ratio_hmc  # 2.0x vs 1.6x
+
+    def test_link_scale_touches_external_only(self):
+        base = HbmConfig().cube_config(1.0, 1.0)
+        half = HbmConfig().cube_config(1.0, 0.5)
+        assert half.external_bandwidth_gb_per_s == pytest.approx(
+            base.external_bandwidth_gb_per_s * 0.5
+        )
+        assert half.internal_bandwidth_gb_per_s == (
+            base.internal_bandwidth_gb_per_s
+        )
+
+    def test_internal_floored_at_external(self):
+        wide = HbmConfig().cube_config(1.0, 10.0)
+        assert wide.internal_bandwidth_gb_per_s == (
+            wide.external_bandwidth_gb_per_s
+        )
+
+    def test_rejects_pim_slower_than_interface(self):
+        with pytest.raises(ValueError, match="PIM-side"):
+            HbmConfig(pim_bandwidth_gb_per_s=100.0)
+
+    def test_live_stack_is_a_cube(self):
+        stack = HbmStack()
+        assert stack.config.num_vaults == 16
+
+
+class TestNearBank:
+    def test_defaults_map_onto_cube(self):
+        config = NearBankPimConfig().cube_config()
+        assert config.external_bandwidth_gb_per_s == pytest.approx(64.0)
+        assert config.internal_bandwidth_gb_per_s == pytest.approx(2048.0)
+        assert config.num_vaults == 64
+        assert config.banks_per_vault == 2
+        assert config.link_latency_cycles == 48.0
+        assert config.vault_access_latency_cycles == 96.0
+
+    def test_extreme_offload_ratio_weak_host(self):
+        near = NearBankPimConfig().cube_config()
+        hmc = memory_backend("hmc").make_cube_config(1.0, 1.0)
+        assert near.external_bandwidth_gb_per_s < hmc.external_bandwidth_gb_per_s
+        ratio = near.internal_bandwidth_gb_per_s / near.external_bandwidth_gb_per_s
+        assert ratio == pytest.approx(32.0)
+
+    def test_link_scale_touches_host_channel_only(self):
+        base = NearBankPimConfig().cube_config(2.0, 1.0)
+        doubled = NearBankPimConfig().cube_config(2.0, 2.0)
+        assert doubled.external_bandwidth_gb_per_s == pytest.approx(
+            base.external_bandwidth_gb_per_s * 2.0
+        )
+        assert doubled.internal_bandwidth_gb_per_s == (
+            base.internal_bandwidth_gb_per_s
+        )
+
+    def test_rejects_near_bank_slower_than_host(self):
+        with pytest.raises(ValueError, match="near-bank"):
+            NearBankPimConfig(near_bank_bandwidth_gb_per_s=32.0)
+
+    def test_live_module_is_a_cube(self):
+        module = NearBankPimMemory()
+        assert module.config.num_vaults == 64
+
+
+class TestDesignWiring:
+    def test_design_config_validates_backend_name(self):
+        with pytest.raises(KeyError, match="unknown memory backend"):
+            DesignConfig(design=Design.A_TFIM, memory_backend="optane")
+
+    def test_design_config_rejects_nonpositive_link_scale(self):
+        with pytest.raises(ValueError, match="link bandwidth scale"):
+            DesignConfig(link_bandwidth_scale=0.0)
+
+    def test_with_design_and_threshold_carry_the_axes(self):
+        config = DesignConfig(
+            design=Design.A_TFIM,
+            memory_backend="hbm",
+            link_bandwidth_scale=0.75,
+        )
+        moved = config.with_design(Design.S_TFIM)
+        assert moved.memory_backend == "hbm"
+        assert moved.link_bandwidth_scale == 0.75
+        rethreshed = config.with_threshold(0.02)
+        assert rethreshed.memory_backend == "hbm"
+        assert rethreshed.link_bandwidth_scale == 0.75
+
+    def test_workload_design_config_resolves_backend(self):
+        workload = workload_by_name(WORKLOAD)
+        config = workload.design_config(
+            Design.A_TFIM, memory_backend="nearbank"
+        )
+        assert config.memory_backend == "nearbank"
+        expected = NearBankPimConfig().cube_config(workload.bandwidth_scale, 1.0)
+        assert config.hmc == expected
+
+    def test_workload_design_config_default_unchanged(self):
+        """No backend override -> the exact historical HMC numbers."""
+        workload = workload_by_name(WORKLOAD)
+        config = workload.design_config(Design.A_TFIM)
+        assert config.memory_backend == "hmc"
+        assert config.link_bandwidth_scale == 1.0
+        assert config.hmc == HmcConfig(
+            external_bandwidth_gb_per_s=320.0 / workload.bandwidth_scale,
+            internal_bandwidth_gb_per_s=512.0 / workload.bandwidth_scale,
+        )
+
+    def test_explicit_hmc_override_still_wins(self):
+        workload = workload_by_name(WORKLOAD)
+        custom = HmcConfig(external_bandwidth_gb_per_s=99.0,
+                           internal_bandwidth_gb_per_s=101.0)
+        config = workload.design_config(
+            Design.A_TFIM, memory_backend="hbm", hmc=custom
+        )
+        assert config.hmc == custom
+        assert config.memory_backend == "hbm"
+
+    def test_backend_fields_reach_frozen_copy_helpers(self):
+        """The axes are real dataclass fields, not ad-hoc attributes."""
+        names = {f.name for f in dataclasses.fields(DesignConfig)}
+        assert {"memory_backend", "link_bandwidth_scale"} <= names
