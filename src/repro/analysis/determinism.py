@@ -88,6 +88,7 @@ _PROPAGATION_EXEMPT_MARKERS = (
     "src/repro/obs/",
     "src/repro/perf/",
     "src/repro/faults/",
+    "src/repro/serve/",
 )
 
 _TIME_FUNCS = frozenset({

@@ -139,10 +139,12 @@ class WallClockRule(LintRule):
 
     def applies_to(self, ctx: LintContext) -> bool:
         # repro.perf is the benchmark harness, repro.obs the tracing
-        # layer, and repro.faults the retry/timeout scheduler: all three
-        # exist to measure or pace host wall-clock time (never simulated
-        # time), so the rule would flag every line they exist to write.
-        if ctx.in_subpackages(("perf", "obs", "faults")):
+        # layer, repro.faults the retry/timeout scheduler, and
+        # repro.serve the job server (uptime, job timestamps, queue
+        # pacing): all four exist to measure or pace host wall-clock
+        # time (never simulated time), so the rule would flag every
+        # line they exist to write.
+        if ctx.in_subpackages(("perf", "obs", "faults", "serve")):
             return False
         return ctx.is_sim_source
 
@@ -440,7 +442,7 @@ class MonotonicOutsideObsRule(LintRule):
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: LintContext) -> bool:
-        return not ctx.in_subpackages(("perf", "obs", "faults"))
+        return not ctx.in_subpackages(("perf", "obs", "faults", "serve"))
 
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         func = node.func  # type: ignore[attr-defined]

@@ -17,6 +17,11 @@ Subcommands:
   workload x link-scale x memory-backend through a chosen executor
   backend; optionally cross-check backends for bit-identity and write
   the A-TFIM crossover surface into EXPERIMENTS.md.
+* ``serve`` -- run the HTTP/JSON simulation job server
+  (:mod:`repro.serve`): POST sweep-vocabulary jobs, poll their status,
+  scrape ``/stats``; a bounded multi-tenant queue applies 429
+  backpressure and a namespaced, size-bounded disk cache persists
+  artefacts across jobs and restarts.
 
 ``report``, ``fig`` and ``bench`` accept ``--jobs N`` to fan design-point
 simulations out over processes; ``report`` persists results under
@@ -414,6 +419,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if identical and not result.missing else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation job server until interrupted."""
+    from repro.serve import JobServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workloads=FAST_WORKLOADS if args.fast else None,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        max_queue_depth=args.max_queue_depth,
+        tenant_quota=args.tenant_quota,
+        max_points=args.max_points,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
+    return JobServer(config).serve_blocking()
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.manifest import write_chrome_trace
 
@@ -575,6 +599,42 @@ def build_parser() -> argparse.ArgumentParser:
                        "EXPERIMENTS.md (optional path) instead of printing "
                        "it")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON simulation job server (POST /jobs, "
+        "GET /jobs/<id>, GET /stats)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8731,
+                       help="TCP port (default: 8731; 0 binds an "
+                       "ephemeral port)")
+    serve.add_argument("--fast", action="store_true",
+                       help="serve the 3-workload fast subset only")
+    serve.add_argument("--cache-dir", default=None,
+                       help="artifact-store root, namespaced by source "
+                       "version (default: no persistence)")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="size budget for the whole cache root; "
+                       "least-recently-used entries are evicted above it")
+    serve.add_argument("--max-queue-depth", type=int, default=8,
+                       help="admission bound on queued jobs; submissions "
+                       "beyond it get HTTP 429 (default: 8)")
+    serve.add_argument("--tenant-quota", type=int, default=None,
+                       help="per-tenant bound on queued jobs (default: "
+                       "no quota)")
+    serve.add_argument("--max-points", type=int, default=64,
+                       help="admission bound on points per job "
+                       "(default: 64)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="default worker processes per job (a "
+                       "request's own 'jobs' field overrides)")
+    serve.add_argument("--backend", default=None,
+                       choices=["serial", "process-pool", "work-stealing"],
+                       help="default executor backend (a request's own "
+                       "'backend' field overrides)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -51,7 +51,12 @@ from repro.faults.injector import (
     suppress,
     suppressed,
 )
-from repro.faults.outcomes import FanoutReport, RunOutcome, TaskReport
+from repro.faults.outcomes import (
+    FanoutReport,
+    RunOutcome,
+    TaskReport,
+    task_token,
+)
 from repro.faults.plan import ENV_FLAG, FaultPlan, stable_fraction
 from repro.faults.retry import FAST_RETRIES, RetryPolicy
 
@@ -73,6 +78,7 @@ __all__ = [
     "RunOutcome",
     "SerialBackend",
     "TaskReport",
+    "task_token",
     "WorkStealingBackend",
     "activate",
     "active_injector",

@@ -62,7 +62,12 @@ from repro.faults.backends import (
     make_backend,
 )
 from repro.faults.injector import FaultContext, suppress
-from repro.faults.outcomes import FanoutReport, RunOutcome, TaskReport
+from repro.faults.outcomes import (
+    FanoutReport,
+    RunOutcome,
+    TaskReport,
+    task_token,
+)
 from repro.faults.retry import RetryPolicy
 
 
@@ -130,7 +135,7 @@ def run_fanout(
     for index, task in enumerate(tasks):
         if task.key in report.tasks:
             raise ValueError(f"duplicate fan-out key {task.key!r}")
-        report.tasks[task.key] = TaskReport(token=str(task.key))
+        report.tasks[task.key] = TaskReport(token=task_token(task.key))
         index_of[task.key] = index
 
     executor = make_backend(backend, jobs)
@@ -295,10 +300,16 @@ def run_fanout(
 
                 if task_timeout is not None and in_flight:
                     now = time.monotonic()
+                    # ``>=``, not ``>``: the wait() above deadlines at
+                    # exactly ``min(started) + task_timeout``, so a wake
+                    # landing right on the boundary must already count as
+                    # overdue -- a strict comparison would recompute a
+                    # 0.0 wait timeout and busy-spin until the clock
+                    # strictly exceeded the deadline.
                     overdue = {
                         future
                         for future, entry_in in in_flight.items()
-                        if now - entry_in.started > task_timeout
+                        if now - entry_in.started >= task_timeout
                     }
                     for domain in sorted(
                         {executor.domain_of(future) for future in overdue}

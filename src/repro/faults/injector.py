@@ -58,7 +58,7 @@ class FaultContext:
     attempt: int
     """0-based attempt number (increments on every requeue)."""
     token: str
-    """Stable textual identity of the task (``str(key)``)."""
+    """Stable textual identity of the task (:func:`repro.faults.outcomes.task_token`)."""
 
 
 class FaultInjector:

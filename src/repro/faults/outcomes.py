@@ -27,6 +27,21 @@ from enum import Enum
 from typing import Any, Dict, List, Optional
 
 
+def task_token(key: Any) -> str:
+    """The stable textual identity of one fan-out key.
+
+    ``repr``, not ``str``: fault-site hashing
+    (:func:`repro.faults.plan.stable_fraction`) and retry-jitter
+    derivation treat the token as the task's identity, and ``str``
+    collapses distinct keys -- ``str(1) == str("1")`` -- so an int/str
+    key pair would share one fault schedule and one retry schedule.
+    ``repr`` keeps primitive keys disambiguated (``'1'`` vs ``1``) and
+    is deterministic for the dataclass keys
+    (:class:`~repro.experiments.runner.RunKey`) the runner schedules.
+    """
+    return repr(key)
+
+
 class RunOutcome(Enum):
     """Terminal state of one fan-out task."""
 
@@ -45,7 +60,7 @@ class TaskReport:
     """The lifecycle record of one key through the fan-out."""
 
     token: str
-    """Stable textual identity of the task (``str(key)``)."""
+    """Stable textual identity of the task (:func:`task_token`)."""
     outcome: RunOutcome = RunOutcome.OK
     attempts: int = 0
     """Pool attempts started (the serial fallback is not an attempt)."""

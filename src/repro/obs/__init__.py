@@ -46,6 +46,7 @@ from repro.obs.tracer import (
     event,
     get_tracer,
     reset_tracer,
+    scoped_tracer,
     set_tracing,
     span,
     timed_stage,
@@ -73,6 +74,7 @@ __all__ = [
     "profile_total",
     "reset_tracer",
     "run_stat_group",
+    "scoped_tracer",
     "runner_stat_group",
     "set_tracing",
     "span",

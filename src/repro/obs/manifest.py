@@ -114,13 +114,18 @@ def build_manifest(
     config: Optional[Mapping[str, Any]] = None,
     runner: Optional[Any] = None,
     tracer: Optional[Tracer] = None,
+    fanout: Optional[Any] = None,
 ) -> RunManifest:
     """Assemble a manifest from the current process state.
 
     ``runner`` (an :class:`~repro.experiments.runner.ExperimentRunner`)
     contributes its cache counters and the flattened per-run StatGroup
     metrics; the span tree is drained from ``tracer`` (default: the
-    process-wide one).
+    process-wide one).  ``fanout`` (a
+    :class:`~repro.faults.outcomes.FanoutReport`) overrides the
+    runner's *most recent* fan-out record -- a persistent server
+    building one manifest per job passes each job's own report here,
+    since ``runner.fanout_report()`` only remembers the last batch.
     """
     # Imported lazily: the cache module itself records spans through
     # repro.obs, so a top-level import would be circular.
@@ -139,11 +144,10 @@ def build_manifest(
     if runner is not None:
         from repro.obs.snapshot import runner_stat_group
 
-        report = getattr(runner, "fanout_report", None)
-        if callable(report):
-            fanout = report()
-            if fanout.tasks:
-                faults["fanout"] = fanout.as_dict()
+        if fanout is None:
+            report = getattr(runner, "fanout_report", None)
+            if callable(report):
+                fanout = report()
         counters = runner.cache_stats()
         cache = {
             "memo_hits": float(counters.memo_hits),
@@ -157,6 +161,8 @@ def build_manifest(
             "disk_hit_rate": counters.disk_hit_rate,
         }
         stats = runner_stat_group(runner).as_dict()
+    if fanout is not None and fanout.tasks:
+        faults["fanout"] = fanout.as_dict()
     return RunManifest(
         command=command,
         config=config,

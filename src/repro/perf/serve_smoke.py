@@ -1,0 +1,270 @@
+"""``python -m repro.perf.serve_smoke``: the job-server smoke gate.
+
+Boots a real :class:`~repro.serve.app.BackgroundServer` on an ephemeral
+port, drives it over plain HTTP (stdlib ``http.client``, exactly what a
+client sees), and asserts the serving contract end to end:
+
+* a submitted job runs to ``done`` and its result embeds a
+  round-trippable ``repro-run-manifest/1`` manifest;
+* an identical resubmission is served warm -- the ``/stats`` cache
+  counters must show new memo hits, not a recompute;
+* the artifact store stays inside its byte budget, and the LRU eviction
+  policy is demonstrated deterministically on a directly-driven
+  :class:`~repro.experiments.cache.DiskCache`.
+
+Writes ``SERVE_stats.json`` (the final ``/stats`` snapshot plus the
+per-check verdicts) and exits non-zero on any failed check.  ``make
+serve-smoke`` and the CI serve job are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.cache import DiskCache
+from repro.obs.manifest import RunManifest
+from repro.serve import BackgroundServer, ServeConfig
+
+SERVE_STATS_FILENAME = "SERVE_stats.json"
+
+DEFAULT_WORKLOAD = "doom3-320x240"
+DEFAULT_CACHE_BUDGET = 64 << 20
+"""Artifact-store byte budget for the smoke server (64 MiB)."""
+
+POLL_INTERVAL_SECONDS = 0.2
+POLL_BUDGET_SECONDS = 300.0
+
+
+class SmokeFailure(AssertionError):
+    """One serving-contract check did not hold."""
+
+
+def _request(
+    host: str, port: int, method: str, path: str,
+    payload: Optional[Dict[str, Any]] = None,
+) -> Tuple[int, Any]:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+def _check(condition: bool, label: str, checks: List[Dict[str, Any]]) -> None:
+    checks.append({"check": label, "ok": bool(condition)})
+    marker = "ok " if condition else "FAIL"
+    print(f"  [{marker}] {label}")
+    if not condition:
+        raise SmokeFailure(label)
+
+
+def _submit_and_wait(
+    host: str, port: int, payload: Dict[str, Any],
+    checks: List[Dict[str, Any]], label: str,
+) -> Dict[str, Any]:
+    status, accepted = _request(host, port, "POST", "/jobs", payload)
+    _check(status == 202, f"{label}: submission accepted (202)", checks)
+    job_id = accepted["job_id"]
+    deadline = time.monotonic() + POLL_BUDGET_SECONDS
+    while True:
+        status, job = _request(host, port, "GET", f"/jobs/{job_id}")
+        if status == 200 and job["status"] in ("done", "failed"):
+            break
+        if time.monotonic() > deadline:
+            raise SmokeFailure(f"{label}: {job_id} never finished")
+        time.sleep(POLL_INTERVAL_SECONDS)
+    _check(
+        job["status"] == "done",
+        f"{label}: {job_id} ran to done (got {job['status']!r}, "
+        f"error={job.get('error')!r})",
+        checks,
+    )
+    return job
+
+
+def _eviction_demo(
+    root: Path, checks: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """LRU eviction on a directly-driven cache: oldest entries go first."""
+    cache = DiskCache(root=root)
+    paths = []
+    for index in range(4):
+        key = cache.key("serve-smoke-evict", index=index)
+        cache.store(key, {"index": index, "padding": "x" * 512})
+        path = cache._path(key)
+        # Pinned, strictly-increasing mtimes make LRU order (and so the
+        # whole demo) deterministic regardless of filesystem timestamp
+        # granularity.
+        os.utime(path, (1_000_000.0 + index, 1_000_000.0 + index))
+        paths.append(path)
+    sizes = [path.stat().st_size for path in paths]
+    budget = sizes[2] + sizes[3]  # room for exactly the two newest
+    evicted = cache.evict(max_bytes=budget)
+    _check(evicted == 2, "eviction: two oldest entries removed", checks)
+    _check(
+        not paths[0].exists() and not paths[1].exists(),
+        "eviction: LRU order (oldest first)",
+        checks,
+    )
+    _check(
+        paths[2].exists() and paths[3].exists(),
+        "eviction: newest entries survive",
+        checks,
+    )
+    _check(
+        cache.total_bytes() <= budget,
+        "eviction: cache fits the byte budget",
+        checks,
+    )
+    return {
+        "entries_stored": len(paths),
+        "budget_bytes": budget,
+        "evicted": evicted,
+        "remaining_bytes": cache.total_bytes(),
+    }
+
+
+def run_smoke(
+    workload: str = DEFAULT_WORKLOAD,
+    cache_max_bytes: int = DEFAULT_CACHE_BUDGET,
+    output_dir: str = ".",
+) -> int:
+    checks: List[Dict[str, Any]] = []
+    stats: Optional[Dict[str, Any]] = None
+    payload = {
+        "tenant": "smoke",
+        "points": [{"workload": workload, "design": "S_TFIM"}],
+    }
+    started = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as scratch:
+        config = ServeConfig(
+            port=0,
+            workloads=[workload],
+            cache_dir=Path(scratch) / "artifacts",
+            cache_max_bytes=cache_max_bytes,
+            max_queue_depth=4,
+        )
+        try:
+            with BackgroundServer(config) as handle:
+                host, port = handle.host, handle.port
+                print(f"serve-smoke: server on http://{host}:{port}")
+                status, health = _request(host, port, "GET", "/healthz")
+                _check(
+                    status == 200 and health.get("ok") is True,
+                    "healthz answers while serving",
+                    checks,
+                )
+
+                job = _submit_and_wait(host, port, payload, checks, "cold job")
+                result = job["result"]
+                _check(
+                    result["records"] and result["missing"] == [],
+                    "cold job: every point produced a record",
+                    checks,
+                )
+                manifest_dict = result["manifest"]
+                manifest = RunManifest.from_dict(manifest_dict)
+                _check(
+                    manifest.as_dict() == manifest_dict,
+                    "cold job: manifest round-trips through "
+                    "RunManifest.from_dict",
+                    checks,
+                )
+
+                _status, before = _request(host, port, "GET", "/stats")
+                _submit_and_wait(host, port, payload, checks, "warm job")
+                _status, stats = _request(host, port, "GET", "/stats")
+                warm_hits = (
+                    stats["cache"]["memo_hits"]
+                    - before["cache"]["memo_hits"]
+                )
+                _check(
+                    warm_hits >= 2,
+                    f"warm job: served from cache ({warm_hits} new memo "
+                    "hits)",
+                    checks,
+                )
+                _check(
+                    stats["jobs"]["done"] >= 2
+                    and stats["jobs"]["failed"] == 0,
+                    "stats: both jobs done, none failed",
+                    checks,
+                )
+                _check(
+                    stats["cache"]["disk_bytes"] <= cache_max_bytes,
+                    "stats: artifact store inside its byte budget",
+                    checks,
+                )
+
+                demo = _eviction_demo(Path(scratch) / "evict-demo", checks)
+        except SmokeFailure as failure:
+            _write_report(output_dir, checks, stats, None, started, False)
+            print(f"FAIL: {failure}")
+            return 1
+    _write_report(output_dir, checks, stats, demo, started, True)
+    print("serve-smoke PASS")
+    return 0
+
+
+def _write_report(
+    output_dir: str,
+    checks: List[Dict[str, Any]],
+    stats: Optional[Dict[str, Any]],
+    eviction_demo: Optional[Dict[str, Any]],
+    started: float,
+    passed: bool,
+) -> None:
+    path = Path(output_dir) / SERVE_STATS_FILENAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro-serve-smoke/1",
+                "passed": passed,
+                "elapsed_seconds": time.monotonic() - started,
+                "checks": checks,
+                "stats": stats,
+                "eviction_demo": eviction_demo,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.serve_smoke",
+        description="boot the job server, run a cold and a warm job over "
+        "HTTP, verify manifest round-trip, cache warmth and eviction",
+    )
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD,
+                        help=f"workload to submit (default: {DEFAULT_WORKLOAD})")
+    parser.add_argument("--cache-max-bytes", type=int,
+                        default=DEFAULT_CACHE_BUDGET,
+                        help="artifact-store byte budget (default: 64 MiB)")
+    parser.add_argument("--output-dir", default=".",
+                        help="directory for SERVE_stats.json (default: cwd)")
+    args = parser.parse_args(argv)
+    return run_smoke(
+        workload=args.workload,
+        cache_max_bytes=args.cache_max_bytes,
+        output_dir=args.output_dir,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""``repro.serve``: simulation-as-a-service over the experiment runner.
+
+An asyncio HTTP/JSON job server (stdlib only) fronting
+:class:`~repro.experiments.runner.ExperimentRunner`:
+
+* :mod:`~repro.serve.schemas` -- the job request/result vocabulary
+  (:class:`~repro.serve.schemas.JobRequest` wraps
+  :class:`~repro.experiments.sweep.SweepPoint` batches with
+  admission-time validation).
+* :mod:`~repro.serve.queue` -- bounded multi-tenant FIFO admission
+  queue; rejections are HTTP 429 backpressure.
+* :mod:`~repro.serve.jobs` -- job lifecycle records, the dense-id
+  store, and the worker that executes one job at a time through the
+  fault-tolerant fan-out scheduler.
+* :mod:`~repro.serve.app` -- the HTTP server itself
+  (``python -m repro serve``) plus :class:`~repro.serve.app.BackgroundServer`
+  for in-process tests and the ``make serve-smoke`` gate.
+"""
+
+from repro.serve.app import (
+    BackgroundServer,
+    JobServer,
+    MAX_BODY_BYTES,
+    STATS_SCHEMA,
+    ServeConfig,
+)
+from repro.serve.jobs import JOB_STATES, Job, JobRunner, JobStore
+from repro.serve.queue import (
+    AdmissionError,
+    AdmissionQueue,
+    DEFAULT_MAX_DEPTH,
+    QueueStats,
+)
+from repro.serve.schemas import (
+    DEFAULT_MAX_POINTS,
+    DEFAULT_TENANT,
+    JOB_SCHEMA,
+    JobRequest,
+    SchemaError,
+    parse_point,
+    point_as_dict,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "BackgroundServer",
+    "DEFAULT_MAX_DEPTH",
+    "DEFAULT_MAX_POINTS",
+    "DEFAULT_TENANT",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "Job",
+    "JobRequest",
+    "JobRunner",
+    "JobServer",
+    "JobStore",
+    "MAX_BODY_BYTES",
+    "QueueStats",
+    "STATS_SCHEMA",
+    "SchemaError",
+    "ServeConfig",
+    "parse_point",
+    "point_as_dict",
+]

@@ -1,0 +1,396 @@
+"""Asyncio HTTP/JSON front end for the experiment runner.
+
+``python -m repro serve`` turns the reproduction into a long-running
+simulation service: clients POST sweep-vocabulary jobs, a bounded
+multi-tenant queue (:mod:`repro.serve.queue`) admits or rejects them,
+and a single worker drains the queue through the fault-tolerant fan-out
+scheduler.  Stdlib only -- the HTTP layer is a deliberately minimal
+HTTP/1.1 implementation over :func:`asyncio.start_server` (one request
+per connection, ``Connection: close``), because the payloads are small
+JSON and the concurrency bottleneck is the simulator, never the socket.
+
+Routes::
+
+    POST /jobs      submit a job            -> 202 | 400 | 413 | 429
+    GET  /jobs      list job summaries      -> 200
+    GET  /jobs/<id> job status + result     -> 200 | 404
+    GET  /stats     SLO metrics snapshot    -> 200
+    GET  /healthz   liveness                -> 200
+
+Blocking simulation work runs via :func:`asyncio.to_thread`, so the
+event loop keeps answering status probes while a job simulates.  The
+shared :class:`~repro.experiments.cache.DiskCache` is namespaced by
+source version and size-bounded (LRU eviction), making it a long-lived
+artifact store rather than a per-invocation accelerator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.experiments.cache import DiskCache
+from repro.experiments.runner import ExperimentRunner
+from repro.faults import RetryPolicy
+from repro.serve.jobs import Job, JobRunner, JobStore
+from repro.serve.queue import AdmissionError, AdmissionQueue, DEFAULT_MAX_DEPTH
+from repro.serve.schemas import DEFAULT_MAX_POINTS, JobRequest, SchemaError
+
+STATS_SCHEMA = "repro-serve-stats/1"
+"""Schema marker of the ``/stats`` payload."""
+
+MAX_BODY_BYTES = 1 << 20
+"""Request bodies above this are refused with 413 before being read."""
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything one :class:`JobServer` needs to come up."""
+
+    host: str = "127.0.0.1"
+    port: int = 8731
+    """TCP port; 0 binds an ephemeral port (tests, smoke)."""
+    workloads: Optional[Sequence[str]] = None
+    """Workload subset the runner preloads (``None``: all of Table II)."""
+    cache_dir: Optional[Union[str, Path]] = None
+    """Artifact-store root; ``None`` runs memo-only (no persistence)."""
+    cache_max_bytes: Optional[int] = None
+    """Size budget for the whole cache root (LRU eviction when set)."""
+    max_queue_depth: int = DEFAULT_MAX_DEPTH
+    tenant_quota: Optional[int] = None
+    max_points: int = DEFAULT_MAX_POINTS
+    jobs: Optional[int] = None
+    """Default worker processes per job (request ``jobs`` overrides)."""
+    backend: Optional[str] = None
+    """Default executor backend (request ``backend`` overrides)."""
+    retry_policy: Optional[RetryPolicy] = None
+
+
+class JobServer:
+    """One serving process: runner + cache + queue + store + HTTP."""
+
+    def __init__(self, config: ServeConfig, start_worker: bool = True) -> None:
+        self.config = config
+        self.cache: Optional[DiskCache] = None
+        if config.cache_dir is not None:
+            # Namespaced by source version so each simulator build's
+            # artefacts are a visible on-disk partition, and size-bounded
+            # so a long-lived store cannot grow without limit.
+            self.cache = DiskCache.versioned(
+                root=Path(config.cache_dir), max_bytes=config.cache_max_bytes
+            )
+            self.cache.reap_temp_files()
+        self.runner = ExperimentRunner(
+            list(config.workloads) if config.workloads is not None else None,
+            jobs=config.jobs,
+            backend=config.backend,
+            retry_policy=config.retry_policy,
+            cache=self.cache,
+        )
+        self.queue = AdmissionQueue(
+            max_depth=config.max_queue_depth,
+            tenant_quota=config.tenant_quota,
+        )
+        self.store = JobStore()
+        self.job_runner = JobRunner(
+            runner=self.runner, retry_policy=config.retry_policy
+        )
+        self.host = config.host
+        self.port = config.port
+        self._start_worker = start_worker
+        self._started_unix = time.time()
+        self._in_flight = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the drain worker."""
+        self._wake = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._started_unix = time.time()
+        if self._start_worker:
+            self._worker = asyncio.ensure_future(self._drain())
+
+    async def stop(self) -> None:
+        """Close the socket and cancel the drain worker."""
+        if self._worker is not None:
+            self._worker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._worker
+            self._worker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def serve_blocking(self) -> int:
+        """Blocking CLI entry point; serves until interrupted (Ctrl-C)."""
+        with contextlib.suppress(KeyboardInterrupt):
+            asyncio.run(self._serve_forever())
+        return 0
+
+    async def _serve_forever(self) -> None:
+        await self.start()
+        print(f"serving on http://{self.host}:{self.port} "
+              f"(queue depth {self.queue.max_depth}, "
+              f"cache {'on' if self.cache else 'off'})")
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    async def _drain(self) -> None:
+        """Single-consumer worker: one job at a time, off the loop."""
+        assert self._wake is not None
+        while True:
+            job = self.queue.take()
+            if job is None:
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            self._in_flight += 1
+            try:
+                await asyncio.to_thread(self.job_runner.execute, job)
+            finally:
+                self._in_flight -= 1
+
+    # -- metrics --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` SLO snapshot."""
+        counters = self.runner.cache_stats()
+        cache: Dict[str, Any] = {
+            "memo_hits": counters.memo_hits,
+            "memo_misses": counters.memo_misses,
+            "disk_hits": counters.disk_hits,
+            "disk_misses": counters.disk_misses,
+            "disk_stores": counters.disk_stores,
+            "disk_errors": counters.disk_errors,
+            "disk_entries": counters.disk_entries,
+            "disk_bytes": counters.disk_bytes,
+            "disk_hit_rate": counters.disk_hit_rate,
+        }
+        if self.cache is not None:
+            cache["namespace"] = self.cache.namespace
+            cache["max_bytes"] = self.cache.max_bytes
+            cache["evictions"] = self.cache.stats.evictions
+            cache["reaped_temp_files"] = self.cache.stats.reaped_temp_files
+        return {
+            "schema": STATS_SCHEMA,
+            "uptime_seconds": time.time() - self._started_unix,
+            "in_flight": self._in_flight,
+            "queue": self.queue.as_dict(),
+            "jobs": self.store.counts(),
+            "jobs_executed": self.job_runner.executed,
+            "cache": cache,
+        }
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload, extra = await self._respond(reader)
+        except Exception as error:  # a broken request must not kill the loop
+            status, payload, extra = 500, {"error": repr(error)}, {}
+        body = json.dumps(payload, indent=2, allow_nan=False).encode() + b"\n"
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+        )
+        for name, value in extra.items():
+            head += f"{name}: {value}\r\n"
+        try:
+            # A client hanging up mid-response is its problem, not the
+            # server's: the job (if admitted) still runs.
+            with contextlib.suppress(ConnectionError, BrokenPipeError):
+                writer.write(head.encode("latin-1") + b"\r\n" + body)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Parse one request and route it; returns (status, payload, headers)."""
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) != 3:
+                return 400, {"error": "malformed request line"}, {}
+            method, target, _version = parts
+            headers: Dict[str, str] = {}
+            while True:
+                raw = await reader.readline()
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                name, _sep, value = raw.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > MAX_BODY_BYTES:
+                return 413, {
+                    "error": f"body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte bound"
+                }, {}
+            body = await reader.readexactly(length) if length > 0 else b""
+        except (ValueError, UnicodeDecodeError, asyncio.IncompleteReadError):
+            return 400, {"error": "malformed HTTP request"}, {}
+        return self._route(method, target.split("?", 1)[0], body)
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if path == "/jobs" and method == "POST":
+            return self._submit(body)
+        if path == "/jobs" and method == "GET":
+            return 200, {
+                "jobs": [
+                    job.as_dict(include_result=False)
+                    for job in self.store.jobs()
+                ]
+            }, {}
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                return 405, {"error": f"{method} not allowed on {path}"}, {}
+            job = self.store.get(path[len("/jobs/"):])
+            if job is None:
+                return 404, {"error": "no such job"}, {}
+            return 200, job.as_dict(), {}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": f"{method} not allowed on {path}"}, {}
+            return 200, self.stats(), {}
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": f"{method} not allowed on {path}"}, {}
+            return 200, {"ok": True, "in_flight": self._in_flight}, {}
+        if path == "/jobs":
+            return 405, {"error": f"{method} not allowed on {path}"}, {}
+        return 404, {"error": f"no such route {path!r}"}, {}
+
+    def _submit(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "request body is not valid JSON"}, {}
+        try:
+            request = JobRequest.from_payload(
+                payload, max_points=self.config.max_points
+            )
+        except SchemaError as error:
+            return 400, {"error": str(error)}, {}
+        try:
+            job, position = self.queue.offer(
+                lambda: self.store.create(request), request.tenant
+            )
+        except AdmissionError as error:
+            return 429, {
+                "error": error.detail,
+                "reason": error.reason,
+            }, {"Retry-After": "1"}
+        if self._wake is not None:
+            self._wake.set()
+        return 202, {
+            "job_id": job.job_id,
+            "status": job.status,
+            "position": position,
+        }, {}
+
+
+class BackgroundServer:
+    """A :class:`JobServer` on its own thread + event loop.
+
+    The in-process harness tests and the smoke gate use: ``with
+    BackgroundServer(config) as handle:`` yields a bound, serving
+    instance whose ``host``/``port`` are real, then tears it down.
+    ``start_worker=False`` leaves the queue undrained -- the
+    deterministic way to exercise backpressure (fill the queue, assert
+    429) without racing a live worker.
+    """
+
+    def __init__(self, config: ServeConfig, start_worker: bool = True) -> None:
+        self.server = JobServer(config, start_worker=start_worker)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to come up within 30s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"server thread failed to start: {self._error!r}"
+            )
+        return self
+
+    def _main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as error:
+            self._error = error
+            self._ready.set()
+            self._loop.close()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+            self._loop.run_until_complete(self.server.stop())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()

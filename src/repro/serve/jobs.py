@@ -1,0 +1,191 @@
+"""Job records, the job store, and the worker that executes jobs.
+
+A :class:`Job` tracks one admitted submission through its lifecycle
+(``queued`` -> ``running`` -> ``done`` | ``failed``).  Job identities
+are a dense counter (``job-000001``): deterministic over the admitted
+sequence, so logs and tests never depend on clock- or RNG-derived ids.
+
+:class:`JobRunner` turns one job into simulations: it expands the
+request into deduplicated run keys, executes them through the runner's
+re-entrant :meth:`~repro.experiments.runner.ExperimentRunner.run_batch`
+(so the fault-tolerant fan-out scheduler, retries and degradation all
+apply), and derives the job's terminal status from the batch's
+:class:`~repro.faults.outcomes.FanoutReport` -- a job whose report left
+any requested point without a result is ``failed``, with the partial
+payload preserved.  Each execution records into a request-scoped tracer
+(:func:`repro.obs.scoped_tracer`) and ships its spans inside the job's
+:class:`~repro.obs.manifest.RunManifest` payload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.experiments.runner import ExperimentRunner
+from repro.faults import RetryPolicy
+from repro.obs.manifest import build_manifest
+from repro.serve.schemas import JobRequest, point_as_dict
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One admitted submission and (eventually) its result payload."""
+
+    job_id: str
+    request: JobRequest
+    status: str = "queued"
+    created_unix: float = 0.0
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    def as_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.request.tenant,
+            "status": self.status,
+            "points": len(self.request.points),
+            "created_unix": self.created_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobStore:
+    """Thread-safe registry of every job this server has admitted."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._next = 1
+        self._lock = threading.Lock()
+
+    def create(self, request: JobRequest) -> Job:
+        """Allocate the next dense job id and register the job."""
+        with self._lock:
+            job = Job(
+                job_id=f"job-{self._next:06d}",
+                request=request,
+                created_unix=time.time(),
+            )
+            self._next += 1
+            self._jobs[job.job_id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """All jobs in admission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (all states always present)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+
+@dataclass
+class JobRunner:
+    """Executes one job at a time against a shared runner + cache."""
+
+    runner: ExperimentRunner
+    retry_policy: Optional[RetryPolicy] = None
+    executed: int = field(default=0)
+
+    def execute(self, job: Job) -> None:
+        """Run one job to its terminal state; never raises.
+
+        Any exception -- schema bugs, simulator failures, a cache that
+        stopped being writable -- lands in ``job.error`` with status
+        ``failed``; a server worker loop must survive every job.
+        """
+        job.status = "running"
+        job.started_unix = time.time()
+        try:
+            self._run(job)
+        except Exception as error:  # the worker loop must outlive any job
+            job.status = "failed"
+            job.error = repr(error)
+        cache = self.runner.disk_cache
+        if cache is not None and cache.max_bytes is not None:
+            # The serving layer owns retention: one LRU pass per job
+            # keeps the shared artifact store inside its byte budget.
+            cache.evict()
+        job.finished_unix = time.time()
+        self.executed += 1
+
+    def _run(self, job: Job) -> None:
+        request = job.request
+        keys = request.run_keys()
+        with obs.scoped_tracer() as tracer:
+            with obs.span(
+                "serve.job",
+                job_id=job.job_id,
+                tenant=request.tenant,
+                points=len(request.points),
+                runs=len(keys),
+            ):
+                results, report = self.runner.run_batch(
+                    keys,
+                    jobs=request.jobs,
+                    retry_policy=self.retry_policy,
+                    task_timeout=request.task_timeout,
+                    backend=request.backend,
+                )
+            manifest = build_manifest(
+                command="serve",
+                config=request.describe(),
+                runner=self.runner,
+                tracer=tracer,
+                fanout=report,
+            )
+        records: List[Dict[str, Any]] = []
+        missing: List[str] = []
+        for point in request.points:
+            run = results.get(point.run_key())
+            baseline = results.get(point.baseline_key())
+            if run is None or baseline is None:
+                missing.append(point.token)
+                continue
+            base_texture = baseline.frame.traffic.external_texture
+            record = point_as_dict(point)
+            record["render_speedup"] = run.frame.speedup_over(baseline.frame)
+            # None, not NaN: job payloads are strict JSON
+            # (allow_nan=False), same as manifests.
+            record["texture_traffic_ratio"] = (
+                run.frame.traffic.external_texture / base_texture
+                if base_texture > 0 else None
+            )
+            records.append(record)
+        fanout = report.as_dict()
+        fanout.pop("tasks", None)
+        job.result = {
+            "records": records,
+            "missing": missing,
+            "unique_runs": len(keys),
+            "fanout": fanout,
+            "manifest": manifest.as_dict(),
+        }
+        if missing:
+            job.status = "failed"
+            job.error = (
+                f"{len(missing)} of {len(request.points)} point(s) "
+                "produced no result; see result.fanout for outcomes"
+            )
+        else:
+            job.status = "done"

@@ -1,0 +1,141 @@
+"""Multi-tenant FIFO admission queue for the job server.
+
+Admission control is the server's backpressure mechanism: a bounded
+queue depth caps total memory and wait time (a rejected client retries
+with jitter; an accepted job has a bounded position), and an optional
+per-tenant quota keeps one chatty client from monopolizing the window.
+Both rejections map to HTTP 429 with a machine-readable reason.
+
+The queue is a plain thread-safe structure (no asyncio coupling): the
+HTTP handlers call :meth:`AdmissionQueue.offer` from the event loop and
+the job worker drains it from wherever it runs.  Admission and enqueue
+are atomic -- :meth:`offer` takes a *factory* for the item so that
+resources with dense identities (the store's ``job-NNNNNN`` counter) are
+only ever allocated for admitted work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+DEFAULT_MAX_DEPTH = 8
+"""Default queue-depth bound (jobs waiting, excluding the one running)."""
+
+
+@dataclass
+class QueueStats:
+    """Lifetime counters for one :class:`AdmissionQueue`."""
+
+    admitted: int = 0
+    dequeued: int = 0
+    rejected_depth: int = 0
+    """Submissions refused because the queue was at ``max_depth``."""
+    rejected_tenant: int = 0
+    """Submissions refused because the tenant was at its quota."""
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "dequeued": self.dequeued,
+            "rejected_depth": self.rejected_depth,
+            "rejected_tenant": self.rejected_tenant,
+        }
+
+
+class AdmissionError(Exception):
+    """A submission was refused; ``reason`` is the machine-readable tag."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+class AdmissionQueue:
+    """Bounded FIFO with per-tenant quotas and rejection accounting."""
+
+    def __init__(
+        self,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        tenant_quota: Optional[int] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be at least 1 (or None)")
+        self.max_depth = max_depth
+        self.tenant_quota = tenant_quota
+        self.stats = QueueStats()
+        self._items: Deque[Tuple[str, Any]] = deque()
+        self._lock = threading.Lock()
+
+    def offer(
+        self, factory: Callable[[], Any], tenant: str
+    ) -> Tuple[Any, int]:
+        """Admit one item, or raise :class:`AdmissionError`.
+
+        ``factory`` is only invoked for admitted submissions (inside the
+        admission lock), so identities it allocates stay dense over the
+        admitted sequence.  Returns ``(item, position)`` where position
+        1 is the head of the queue.
+        """
+        with self._lock:
+            if len(self._items) >= self.max_depth:
+                self.stats.rejected_depth += 1
+                raise AdmissionError(
+                    "queue-full",
+                    f"queue is at its depth bound ({self.max_depth}); "
+                    "retry after the backlog drains",
+                )
+            if self.tenant_quota is not None:
+                waiting = sum(
+                    1 for owner, _item in self._items if owner == tenant
+                )
+                if waiting >= self.tenant_quota:
+                    self.stats.rejected_tenant += 1
+                    raise AdmissionError(
+                        "tenant-quota",
+                        f"tenant {tenant!r} already has {waiting} queued "
+                        f"job(s) (quota {self.tenant_quota}); "
+                        "retry after one completes",
+                    )
+            item = factory()
+            self._items.append((tenant, item))
+            self.stats.admitted += 1
+            return item, len(self._items)
+
+    def take(self) -> Optional[Any]:
+        """Pop the head of the queue, or ``None`` when empty."""
+        with self._lock:
+            if not self._items:
+                return None
+            _tenant, item = self._items.popleft()
+            self.stats.dequeued += 1
+            return item
+
+    def depth(self) -> int:
+        """Jobs currently waiting."""
+        with self._lock:
+            return len(self._items)
+
+    def depth_by_tenant(self) -> Dict[str, int]:
+        """Waiting jobs per tenant (deterministic key order)."""
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for tenant, _item in self._items:
+                counts[tenant] = counts.get(tenant, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stats snapshot for the ``/stats`` endpoint."""
+        payload: Dict[str, Any] = {
+            "depth": self.depth(),
+            "max_depth": self.max_depth,
+            "tenant_quota": self.tenant_quota,
+            "by_tenant": self.depth_by_tenant(),
+        }
+        payload.update(self.stats.as_dict())
+        return payload

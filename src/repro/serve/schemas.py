@@ -1,0 +1,237 @@
+"""Request/response schemas for the simulation job server.
+
+A job is a batch of :class:`~repro.experiments.sweep.SweepPoint`
+coordinates -- the same workload x design x threshold x memory-backend x
+link-scale vocabulary the sweep layer speaks -- plus execution options
+(``jobs``, ``backend``, ``task_timeout``).  Validation happens at
+admission time: a request that names an unknown workload, design or
+executor backend is rejected with a field-by-field error message before
+it ever reaches the queue, so the queue only ever holds runnable work.
+
+The job *result* payload embeds a full
+:class:`~repro.obs.manifest.RunManifest` (schema
+``repro-run-manifest/1``), making every HTTP response exactly as
+auditable as a manifest written next to a CLI run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core import Design
+from repro.experiments.runner import RunKey
+from repro.experiments.sweep import SweepPoint
+from repro.faults.backends import BACKEND_NAMES
+from repro.memory.registry import memory_backend_names
+from repro.workloads import workload_names
+
+JOB_SCHEMA = "repro-serve-job/1"
+"""Schema marker accepted (optionally) in submissions and always present
+in job JSON."""
+
+DEFAULT_MAX_POINTS = 64
+"""Admission-time ceiling on points per job; one HTTP job is a batch,
+not an unbounded sweep (use the ``sweep`` CLI for those)."""
+
+DEFAULT_TENANT = "anonymous"
+"""Tenant label when a request carries none."""
+
+_POINT_FIELDS = frozenset(
+    {"workload", "design", "angle_threshold", "memory_backend",
+     "link_bandwidth_scale"}
+)
+_REQUEST_FIELDS = frozenset(
+    {"schema", "tenant", "points", "jobs", "backend", "task_timeout"}
+)
+
+
+class SchemaError(ValueError):
+    """A submission failed admission-time validation (HTTP 400)."""
+
+
+def _design_by_name(name: Any) -> Design:
+    """Resolve a design by enum name (``A_TFIM``) or value (``atfim``)."""
+    if isinstance(name, str):
+        if name in Design.__members__:
+            return Design[name]
+        for design in Design:
+            if design.value == name:
+                return design
+    raise SchemaError(
+        f"unknown design {name!r}; expected one of "
+        f"{sorted(Design.__members__)} (or values "
+        f"{sorted(d.value for d in Design)})"
+    )
+
+
+def _finite_number(value: Any, path: str, minimum: float = 0.0) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaError(f"{path} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value) or value < minimum:
+        raise SchemaError(
+            f"{path} must be finite and >= {minimum:g}, got {value!r}"
+        )
+    return value
+
+
+def parse_point(payload: Mapping[str, Any], path: str = "points[0]") -> SweepPoint:
+    """Validate one JSON point into a :class:`SweepPoint`.
+
+    Unknown fields are rejected (a typo like ``angle_treshold`` must be
+    a 400, not a silently-defaulted axis).
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError(f"{path} must be an object, got {payload!r}")
+    unknown = sorted(set(payload) - _POINT_FIELDS)
+    if unknown:
+        raise SchemaError(
+            f"{path} has unknown field(s) {unknown}; "
+            f"expected a subset of {sorted(_POINT_FIELDS)}"
+        )
+    workload = payload.get("workload")
+    if workload not in workload_names():
+        raise SchemaError(
+            f"{path}.workload: unknown workload {workload!r}"
+        )
+    design = _design_by_name(payload.get("design"))
+    threshold = _finite_number(
+        payload.get("angle_threshold", 0.0314159), f"{path}.angle_threshold"
+    )
+    backend = payload.get("memory_backend", "hmc")
+    if backend not in memory_backend_names():
+        raise SchemaError(
+            f"{path}.memory_backend: unknown backend {backend!r}; "
+            f"expected one of {sorted(memory_backend_names())}"
+        )
+    link_scale = _finite_number(
+        payload.get("link_bandwidth_scale", 1.0),
+        f"{path}.link_bandwidth_scale",
+    )
+    if link_scale <= 0:
+        raise SchemaError(
+            f"{path}.link_bandwidth_scale must be positive, got {link_scale!r}"
+        )
+    return SweepPoint(
+        workload=workload,
+        design=design,
+        angle_threshold=threshold,
+        memory_backend=backend,
+        link_bandwidth_scale=link_scale,
+    )
+
+
+def point_as_dict(point: SweepPoint) -> Dict[str, Any]:
+    """The JSON form of one point (inverse of :func:`parse_point`)."""
+    return {
+        "workload": point.workload,
+        "design": point.design.name,
+        "angle_threshold": point.angle_threshold,
+        "memory_backend": point.memory_backend,
+        "link_bandwidth_scale": point.link_bandwidth_scale,
+    }
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated job submission."""
+
+    tenant: str
+    points: Tuple[SweepPoint, ...]
+    jobs: Optional[int] = None
+    backend: Optional[str] = None
+    task_timeout: Optional[float] = None
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Any,
+        max_points: int = DEFAULT_MAX_POINTS,
+    ) -> "JobRequest":
+        """Validate a decoded JSON body; raise :class:`SchemaError`."""
+        if not isinstance(payload, Mapping):
+            raise SchemaError(
+                f"request body must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - _REQUEST_FIELDS)
+        if unknown:
+            raise SchemaError(
+                f"unknown request field(s) {unknown}; "
+                f"expected a subset of {sorted(_REQUEST_FIELDS)}"
+            )
+        schema = payload.get("schema", JOB_SCHEMA)
+        if schema != JOB_SCHEMA:
+            raise SchemaError(
+                f"unsupported schema {schema!r}; this server speaks "
+                f"{JOB_SCHEMA!r}"
+            )
+        tenant = payload.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant:
+            raise SchemaError(f"tenant must be a non-empty string, got {tenant!r}")
+        raw_points = payload.get("points")
+        if not isinstance(raw_points, list) or not raw_points:
+            raise SchemaError("points must be a non-empty array")
+        if len(raw_points) > max_points:
+            raise SchemaError(
+                f"too many points ({len(raw_points)} > {max_points}); "
+                "split the batch or use the sweep CLI"
+            )
+        points = tuple(
+            parse_point(point, f"points[{index}]")
+            for index, point in enumerate(raw_points)
+        )
+        jobs = payload.get("jobs")
+        if jobs is not None:
+            if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+                raise SchemaError(f"jobs must be a positive integer, got {jobs!r}")
+        backend = payload.get("backend")
+        if backend is not None and backend not in BACKEND_NAMES:
+            raise SchemaError(
+                f"unknown executor backend {backend!r}; expected one of "
+                f"{list(BACKEND_NAMES)}"
+            )
+        task_timeout = payload.get("task_timeout")
+        if task_timeout is not None:
+            task_timeout = _finite_number(task_timeout, "task_timeout")
+            if task_timeout <= 0:
+                raise SchemaError(
+                    f"task_timeout must be positive, got {task_timeout!r}"
+                )
+        return cls(
+            tenant=tenant,
+            points=points,
+            jobs=jobs,
+            backend=backend,
+            task_timeout=task_timeout,
+        )
+
+    def run_keys(self) -> List[RunKey]:
+        """The deduplicated simulations this job schedules.
+
+        Baseline normalization runs come first (every speedup divides by
+        one), then each point's canonical run key, in submission order --
+        the same expansion :func:`repro.experiments.sweep.run_sweep`
+        performs.
+        """
+        keys: List[RunKey] = []
+        seen = set()
+        for point in self.points:
+            for key in (point.baseline_key(), point.run_key()):
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+        return keys
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able summary (the manifest's ``config`` block)."""
+        return {
+            "schema": JOB_SCHEMA,
+            "tenant": self.tenant,
+            "points": [point_as_dict(point) for point in self.points],
+            "jobs": self.jobs,
+            "backend": self.backend,
+            "task_timeout": self.task_timeout,
+        }

@@ -1,0 +1,187 @@
+"""DiskCache retention policies: temp-file reaping, LRU eviction,
+and source-version namespacing.
+
+These policies exist for the job server, where one cache outlives many
+jobs and becomes a shared artifact store.  Mtime-based recency is
+exercised with *fixed* epoch timestamps (``os.utime``), never the wall
+clock, so ordering assertions are deterministic.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.cache import (
+    TEMP_REAP_AGE_SECONDS,
+    DiskCache,
+    source_version,
+)
+
+OLD_EPOCH = 1_000_000.0
+"""An mtime far older than any reap age gate or test runtime."""
+
+
+def _store(cache, tag, mtime=None, payload="value"):
+    """Store one entry keyed by ``tag``; pin its mtime if given."""
+    key = cache.key("retention-test", tag=tag)
+    cache.store(key, {"tag": tag, "payload": payload})
+    path = cache._path(key)
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return key, path
+
+
+def _orphan_tmp(cache, name, mtime=None):
+    """Plant a ``*.tmp`` file as a crashed mid-store writer leaves it."""
+    shard = cache.base_dir / "ab"
+    shard.mkdir(parents=True, exist_ok=True)
+    path = shard / f"{name}.tmp"
+    path.write_bytes(b"torn partial write from a dead worker")
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestTempFileReaper:
+    def test_orphan_older_than_age_gate_is_reaped(self, tmp_path):
+        """Regression: a worker dying between ``NamedTemporaryFile`` and
+        ``os.replace`` leaked its temp file forever -- ``entries()``
+        never saw it, so nothing ever removed it.
+        """
+        cache = DiskCache(root=tmp_path)
+        key, entry_path = _store(cache, "survivor")
+        stale = _orphan_tmp(cache, "dead-worker", mtime=OLD_EPOCH)
+        fresh = _orphan_tmp(cache, "live-writer")  # current mtime
+
+        reaped = cache.reap_temp_files()
+
+        assert reaped == 1
+        assert not stale.exists()
+        assert fresh.exists(), "a live writer's temp file must survive"
+        assert entry_path.exists(), "real entries are never reaped"
+        assert cache.stats.reaped_temp_files == 1
+        hit, value = cache.load(key)
+        assert hit and value["tag"] == "survivor"
+
+    def test_age_gate_is_parameterizable(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        fresh = _orphan_tmp(cache, "fresh")
+        assert cache.reap_temp_files() == 0  # default gate spares it
+        assert cache.reap_temp_files(max_age=0.0) == 1
+        assert not fresh.exists()
+        assert TEMP_REAP_AGE_SECONDS > 0
+
+    def test_reaper_descends_namespace_directories(self, tmp_path):
+        cache = DiskCache.versioned(root=tmp_path)
+        stale = _orphan_tmp(cache, "dead-namespaced", mtime=OLD_EPOCH)
+        assert stale.parent.parent == tmp_path / source_version()
+        assert cache.reap_temp_files() == 1
+        assert not stale.exists()
+
+
+class TestLruEviction:
+    def test_oldest_entries_evicted_until_under_budget(self, tmp_path):
+        cache = DiskCache(root=tmp_path, max_bytes=1)
+        _key_a, path_a = _store(cache, "a", mtime=OLD_EPOCH)
+        _key_b, path_b = _store(cache, "b", mtime=OLD_EPOCH + 100)
+        _key_c, path_c = _store(cache, "c", mtime=OLD_EPOCH + 200)
+        sizes = {p: p.stat().st_size for p in (path_a, path_b, path_c)}
+
+        budget = sizes[path_b] + sizes[path_c]
+        evicted = cache.evict(max_bytes=budget)
+
+        assert evicted == 1
+        assert not path_a.exists(), "least-recently-used entry goes first"
+        assert path_b.exists() and path_c.exists()
+        assert cache.total_bytes() <= budget
+        assert cache.stats.evictions == 1
+
+    def test_load_refreshes_recency(self, tmp_path):
+        """A cache hit must count as use: under ``max_bytes`` the entry's
+        mtime is refreshed, so a hot entry outlives a colder newer one.
+        """
+        cache = DiskCache(root=tmp_path, max_bytes=1 << 20)
+        key_hot, path_hot = _store(cache, "hot", mtime=OLD_EPOCH)
+        _key_cold, path_cold = _store(cache, "cold", mtime=OLD_EPOCH + 100)
+
+        hit, _value = cache.load(key_hot)
+        assert hit
+        assert path_hot.stat().st_mtime > OLD_EPOCH + 100
+
+        cache.evict(max_bytes=path_hot.stat().st_size)
+        assert path_hot.exists(), "the just-used entry must survive"
+        assert not path_cold.exists()
+
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        cache = DiskCache(root=tmp_path)  # max_bytes=None
+        _store(cache, "kept", mtime=OLD_EPOCH)
+        assert cache.evict() == 0
+        assert cache.entries() == 1
+
+    def test_store_does_not_evict(self, tmp_path):
+        """Retention is the owner's job (the server runs one LRU pass per
+        job); ``store`` itself never rescans or trims the tree, so a
+        fan-out of stores may transiently overshoot the budget.
+        """
+        cache = DiskCache(root=tmp_path, max_bytes=1)
+        for tag in ("a", "b", "c"):
+            _store(cache, tag, mtime=OLD_EPOCH)
+        assert cache.entries() == 3
+        assert cache.total_bytes() > cache.max_bytes
+        assert cache.stats.evictions == 0
+        assert cache.evict() >= 2  # the explicit pass enforces the budget
+        assert cache.total_bytes() <= cache.max_bytes
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(root=tmp_path, max_bytes=-1)
+
+
+class TestNamespacing:
+    def test_versioned_cache_partitions_by_source_version(self, tmp_path):
+        cache = DiskCache.versioned(root=tmp_path)
+        assert cache.namespace == source_version()
+        assert cache.base_dir == tmp_path / source_version()
+        _key, path = _store(cache, "entry")
+        assert cache.base_dir in path.parents
+
+    def test_flat_cache_base_dir_is_root(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        assert cache.base_dir == tmp_path
+
+    def test_worker_cache_on_base_dir_shares_the_partition(self, tmp_path):
+        """Pool workers open a flat cache rooted at the parent's
+        ``base_dir``; the same key must resolve to the same file.
+        """
+        parent = DiskCache.versioned(root=tmp_path)
+        key, _path = _store(parent, "shared")
+        worker = DiskCache(root=parent.base_dir)
+        hit, value = worker.load(key)
+        assert hit and value["tag"] == "shared"
+
+    def test_foreign_namespaces_evict_before_own_entries(self, tmp_path):
+        """Entries under a different source version can never be hit by
+        this cache (keys embed the version), so eviction drops them
+        first -- even when they are *newer* than this cache's entries.
+        """
+        cache = DiskCache.versioned(root=tmp_path, max_bytes=1)
+        _key, own_path = _store(cache, "own", mtime=OLD_EPOCH)
+
+        foreign_shard = tmp_path / "0123456789abcdef" / "ab"
+        foreign_shard.mkdir(parents=True)
+        foreign_path = foreign_shard / ("f" * 64 + ".pkl")
+        foreign_path.write_bytes(b"stale-version artefact")
+        os.utime(foreign_path, (OLD_EPOCH + 500, OLD_EPOCH + 500))
+
+        evicted = cache.evict(max_bytes=own_path.stat().st_size)
+
+        assert evicted == 1
+        assert not foreign_path.exists(), "foreign namespace goes first"
+        assert own_path.exists()
+
+    def test_budget_spans_the_whole_root_tree(self, tmp_path):
+        cache = DiskCache.versioned(root=tmp_path, max_bytes=1)
+        _store(cache, "one", mtime=OLD_EPOCH)
+        _store(cache, "two", mtime=OLD_EPOCH + 100)
+        assert cache.evict(max_bytes=0) == 2
+        assert cache.entries() == 0

@@ -9,15 +9,19 @@ misbehave -- no fault plan needed to exercise the executor itself.
 
 import os
 import time
+from concurrent.futures import Future
 
 import pytest
 
 from repro.faults import (
     FAST_RETRIES,
+    ExecutorBackend,
     FanoutTask,
     RetryPolicy,
     RunOutcome,
     run_fanout,
+    stable_fraction,
+    task_token,
 )
 
 
@@ -206,6 +210,162 @@ class TestNonBlockingBackoff:
         for i in range(4):
             stamp = float((tmp_path / f"done-{i}").read_text())
             assert stamp - started < 1.0, f"fast-{i} stalled behind backoff"
+
+
+class _FakeClock:
+    """Deterministic stand-in for the ``time`` module in the scheduler.
+
+    ``wait`` (also faked) advances this clock by exactly its timeout, so
+    the test can land the scheduler *precisely* on the reclaim deadline
+    ``min(started) + task_timeout`` -- the boundary the old strict
+    comparison busy-spun on.
+    """
+
+    def __init__(self, start=1000.0):
+        self.now = start
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += max(0.0, seconds)
+
+
+class _HangFirstBackend(ExecutorBackend):
+    """First submitted future never resolves; later ones succeed inline."""
+
+    name = "fake-hang-first"
+
+    def __init__(self):
+        self.submissions = 0
+        self.recoveries = []
+
+    @property
+    def capacity(self):
+        return 1
+
+    def submit(self, fn, args):
+        self.submissions += 1
+        future = Future()
+        if self.submissions > 1:
+            future.set_result(fn(*args))
+        return future  # the first attempt hangs forever
+
+    def domain_of(self, future):
+        return 0
+
+    def recover(self, domain):
+        self.recoveries.append(domain)
+
+    def shutdown(self):
+        pass
+
+
+class TestTimeoutBoundary:
+    """Regression: a wake landing exactly on ``started + task_timeout``
+    must reclaim the overdue task, not recompute a 0.0 wait timeout and
+    busy-spin until the clock *strictly* exceeds the deadline.
+    """
+
+    def test_boundary_wake_reclaims_instead_of_spinning(self, monkeypatch):
+        import repro.faults.executor as executor_mod
+
+        clock = _FakeClock()
+        wait_calls = {"total": 0, "zero_timeout": 0}
+
+        def fake_wait(futures, timeout=None, return_when=None):
+            wait_calls["total"] += 1
+            if wait_calls["total"] > 25:
+                raise AssertionError(
+                    "scheduler busy-spun: wait() called more than 25 times"
+                )
+            done = {future for future in futures if future.done()}
+            if done:
+                return done, set(futures) - done
+            assert timeout is not None, (
+                "wait() would block forever on the hung future"
+            )
+            if timeout == 0.0:
+                wait_calls["zero_timeout"] += 1
+            clock.sleep(timeout)  # wake exactly at the deadline
+            return set(), set(futures)
+
+        monkeypatch.setattr(executor_mod, "time", clock)
+        monkeypatch.setattr(executor_mod, "wait", fake_wait)
+
+        backend = _HangFirstBackend()
+        policy = RetryPolicy(
+            max_attempts=2, base_delay=0.0, multiplier=1.0,
+            max_delay=0.0, jitter=0.0,
+        )
+        start = clock.now
+        results, report = run_fanout(
+            [FanoutTask(key="k", fn=_double, args=(21,))],
+            jobs=1, policy=policy, task_timeout=1.0, backend=backend,
+        )
+
+        assert results == {"k": 42}
+        state = report.tasks["k"]
+        assert state.outcome is RunOutcome.RETRIED
+        assert state.timeouts == 1
+        assert state.retries == 1
+        assert state.attempts == 2
+        assert report.pool_rebuilds == 1
+        assert backend.recoveries == [0]
+        # The reclaim happened on the boundary wake itself: the clock
+        # advanced exactly one task_timeout, and no wait() call ever ran
+        # with the degenerate 0.0 timeout the busy-spin produced.
+        assert clock.now - start == pytest.approx(1.0)
+        assert wait_calls["zero_timeout"] == 0
+        assert wait_calls["total"] <= 3
+
+
+class TestTokenIdentity:
+    """Regression: ``str(key)`` collapsed int/str key pairs (``1`` vs
+    ``"1"``) onto one token, so they shared a single fault schedule and
+    retry-jitter stream.  ``task_token`` uses ``repr`` to keep them
+    distinct.
+    """
+
+    def test_int_and_str_keys_get_distinct_tokens(self):
+        assert task_token(1) == "1"
+        assert task_token("1") == "'1'"
+        assert task_token(1) != task_token("1")
+
+    def test_report_tokens_disambiguated_in_fanout(self):
+        tasks = [
+            FanoutTask(key=1, fn=_double, args=(10,)),
+            FanoutTask(key="1", fn=_double, args=(20,)),
+        ]
+        results, report = run_fanout(
+            tasks, jobs=1, policy=FAST_RETRIES, backend="serial"
+        )
+        assert results == {1: 20, "1": 40}
+        tokens = {key: state.token for key, state in report.tasks.items()}
+        assert tokens[1] != tokens["1"]
+        assert sorted(tokens.values()) == ["'1'", "1"]
+
+    def test_distinct_tokens_draw_independent_fault_decisions(self):
+        # The fault injector hashes (seed, site, token); a collapsed
+        # token would force identical draws for every seed.  Distinct
+        # repr tokens must disagree for *some* seed.
+        site = "experiments.run"
+        draws = [
+            (
+                stable_fraction(seed, site, task_token(1)),
+                stable_fraction(seed, site, task_token("1")),
+            )
+            for seed in range(32)
+        ]
+        assert any(a != b for a, b in draws)
+        # str() would have collapsed them: identical for every seed.
+        assert all(
+            stable_fraction(seed, site, str(1))
+            == stable_fraction(seed, site, str("1"))
+            for seed in range(32)
+        )
 
 
 class TestTimeouts:

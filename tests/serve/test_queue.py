@@ -1,0 +1,101 @@
+"""Admission queue: FIFO order, depth bound, tenant quotas, accounting."""
+
+import pytest
+
+from repro.serve.queue import AdmissionError, AdmissionQueue
+
+
+def _offer(queue, item, tenant="anonymous"):
+    return queue.offer(lambda: item, tenant)
+
+
+class TestFifo:
+    def test_items_drain_in_admission_order(self):
+        queue = AdmissionQueue(max_depth=4)
+        for value in ("a", "b", "c"):
+            _offer(queue, value)
+        assert [queue.take() for _ in range(3)] == ["a", "b", "c"]
+        assert queue.take() is None
+
+    def test_positions_are_one_based(self):
+        queue = AdmissionQueue(max_depth=4)
+        _item, first = _offer(queue, "a")
+        _item, second = _offer(queue, "b")
+        assert (first, second) == (1, 2)
+
+    def test_factory_result_is_returned(self):
+        queue = AdmissionQueue(max_depth=4)
+        item, _position = queue.offer(lambda: {"job": 1}, "t")
+        assert item == {"job": 1}
+
+
+class TestDepthBound:
+    def test_full_queue_rejects_with_reason(self):
+        queue = AdmissionQueue(max_depth=2)
+        _offer(queue, "a")
+        _offer(queue, "b")
+        with pytest.raises(AdmissionError) as excinfo:
+            _offer(queue, "c")
+        assert excinfo.value.reason == "queue-full"
+        assert queue.stats.rejected_depth == 1
+        assert queue.depth() == 2
+
+    def test_rejected_submission_never_runs_its_factory(self):
+        """Dense identities (job-NNNNNN) depend on this: an id is only
+        ever allocated for admitted work.
+        """
+        queue = AdmissionQueue(max_depth=1)
+        _offer(queue, "a")
+        calls = []
+        with pytest.raises(AdmissionError):
+            queue.offer(lambda: calls.append("allocated"), "t")
+        assert calls == []
+
+    def test_draining_reopens_admission(self):
+        queue = AdmissionQueue(max_depth=1)
+        _offer(queue, "a")
+        assert queue.take() == "a"
+        _item, position = _offer(queue, "b")
+        assert position == 1
+
+    def test_max_depth_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            AdmissionQueue(max_depth=0)
+
+
+class TestTenantQuota:
+    def test_quota_rejects_only_the_greedy_tenant(self):
+        queue = AdmissionQueue(max_depth=8, tenant_quota=2)
+        _offer(queue, "a1", tenant="team-a")
+        _offer(queue, "a2", tenant="team-a")
+        with pytest.raises(AdmissionError) as excinfo:
+            _offer(queue, "a3", tenant="team-a")
+        assert excinfo.value.reason == "tenant-quota"
+        assert queue.stats.rejected_tenant == 1
+        # A different tenant still fits inside the global depth bound.
+        _item, position = _offer(queue, "b1", tenant="team-b")
+        assert position == 3
+        assert queue.depth_by_tenant() == {"team-a": 2, "team-b": 1}
+
+    def test_quota_must_be_positive_or_none(self):
+        with pytest.raises(ValueError, match="tenant_quota"):
+            AdmissionQueue(tenant_quota=0)
+        AdmissionQueue(tenant_quota=None)  # explicit None is fine
+
+
+class TestStats:
+    def test_as_dict_snapshot(self):
+        queue = AdmissionQueue(max_depth=2, tenant_quota=1)
+        _offer(queue, "a", tenant="team-a")
+        with pytest.raises(AdmissionError):
+            _offer(queue, "a2", tenant="team-a")
+        queue.take()
+        snapshot = queue.as_dict()
+        assert snapshot["depth"] == 0
+        assert snapshot["max_depth"] == 2
+        assert snapshot["tenant_quota"] == 1
+        assert snapshot["admitted"] == 1
+        assert snapshot["dequeued"] == 1
+        assert snapshot["rejected_tenant"] == 1
+        assert snapshot["rejected_depth"] == 0
+        assert snapshot["by_tenant"] == {}

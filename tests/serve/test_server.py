@@ -1,0 +1,248 @@
+"""End-to-end job-server tests over real HTTP.
+
+One module-scoped :class:`BackgroundServer` (serial backend, smallest
+workload, ephemeral port) serves the lifecycle and routing tests; the
+backpressure tests get their own worker-less servers so the queue can be
+filled deterministically (``start_worker=False`` -- nothing drains it).
+"""
+
+import http.client
+import json
+import socket
+import time
+
+import pytest
+
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest
+from repro.serve import BackgroundServer, ServeConfig
+from repro.serve.app import STATS_SCHEMA
+
+WORKLOAD = "doom3-320x240"
+
+JOB_PAYLOAD = {
+    "tenant": "ci",
+    "points": [{"workload": WORKLOAD, "design": "S_TFIM"}],
+    "backend": "serial",
+}
+
+
+def _request(server, method, path, payload=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        decoded = json.loads(response.read().decode())
+        return response.status, decoded, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def _wait_for_terminal(server, job_id, attempts=1200):
+    for _ in range(attempts):
+        status, payload, _headers = _request(server, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if payload["status"] in ("done", "failed"):
+            return payload
+        time.sleep(0.1)
+    raise AssertionError(f"{job_id} never reached a terminal state")
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServeConfig(
+        port=0,  # ephemeral: tests never collide on a fixed port
+        workloads=[WORKLOAD],
+        cache_dir=tmp_path_factory.mktemp("serve-cache"),
+        backend="serial",
+        max_queue_depth=4,
+    )
+    with BackgroundServer(config) as handle:
+        yield handle
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done_with_manifest(self, server):
+        status, accepted, _headers = _request(
+            server, "POST", "/jobs", JOB_PAYLOAD
+        )
+        assert status == 202
+        assert accepted["status"] == "queued"
+        assert accepted["position"] >= 1
+        job_id = accepted["job_id"]
+        assert job_id.startswith("job-")
+
+        payload = _wait_for_terminal(server, job_id)
+        assert payload["status"] == "done"
+        assert payload["error"] is None
+        assert payload["tenant"] == "ci"
+        assert payload["started_unix"] is not None
+        assert payload["finished_unix"] >= payload["started_unix"]
+
+        result = payload["result"]
+        assert result["missing"] == []
+        assert result["unique_runs"] == 2  # baseline + the S-TFIM point
+        (record,) = result["records"]
+        assert record["workload"] == WORKLOAD
+        assert record["design"] == "S_TFIM"
+        assert record["render_speedup"] > 0
+        assert record["texture_traffic_ratio"] > 0
+
+        # The embedded manifest is a full, round-trippable audit record
+        # whose fan-out block belongs to *this* job.
+        manifest = RunManifest.from_dict(result["manifest"])
+        assert manifest.as_dict()["schema"] == MANIFEST_SCHEMA
+        assert result["manifest"]["command"] == "serve"
+        assert result["fanout"]["backend"] == "serial"
+        assert result["fanout"]["outcomes"]["failed"] == 0
+
+    def test_job_listing_omits_results(self, server):
+        status, listing, _headers = _request(server, "GET", "/jobs")
+        assert status == 200
+        assert len(listing["jobs"]) >= 1
+        for entry in listing["jobs"]:
+            assert "result" not in entry
+            assert entry["status"] in ("queued", "running", "done", "failed")
+
+    def test_second_identical_submit_is_served_warm(self, server):
+        _status, before, _headers = _request(server, "GET", "/stats")
+        status, accepted, _headers = _request(
+            server, "POST", "/jobs", JOB_PAYLOAD
+        )
+        assert status == 202
+        payload = _wait_for_terminal(server, accepted["job_id"])
+        assert payload["status"] == "done"
+
+        _status, after, _headers = _request(server, "GET", "/stats")
+        warm_hits = (
+            after["cache"]["memo_hits"] - before["cache"]["memo_hits"]
+        )
+        assert warm_hits >= 2, (
+            "an identical resubmission must be served from cache, "
+            f"got {warm_hits} new memo hits"
+        )
+        assert after["jobs_executed"] >= before["jobs_executed"] + 1
+
+    def test_stats_snapshot_shape(self, server):
+        status, stats, _headers = _request(server, "GET", "/stats")
+        assert status == 200
+        assert stats["schema"] == STATS_SCHEMA
+        assert stats["uptime_seconds"] >= 0
+        assert stats["in_flight"] in (0, 1)
+        assert stats["queue"]["max_depth"] == 4
+        assert set(stats["jobs"]) == {"queued", "running", "done", "failed"}
+        assert stats["cache"]["namespace"], "cache must be namespaced"
+        # Fan-out workers store through their own cache handles, so the
+        # on-disk entry count (not the parent's store counter) is the
+        # artifact-store ground truth.
+        assert stats["cache"]["disk_entries"] >= 1
+        assert stats["cache"]["disk_bytes"] > 0
+
+    def test_healthz(self, server):
+        status, payload, _headers = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["ok"] is True
+
+
+class TestRouting:
+    def test_unknown_job_is_404(self, server):
+        status, payload, _headers = _request(
+            server, "GET", "/jobs/job-999999"
+        )
+        assert status == 404
+        assert "no such job" in payload["error"]
+
+    def test_unknown_route_is_404(self, server):
+        status, _payload, _headers = _request(server, "GET", "/sweeps")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        status, _payload, _headers = _request(server, "DELETE", "/jobs")
+        assert status == 405
+        status, _payload, _headers = _request(server, "POST", "/stats")
+        assert status == 405
+
+    def test_invalid_json_is_400(self, server):
+        conn = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            conn.request(
+                "POST", "/jobs", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+
+    def test_schema_violation_is_400_not_queued(self, server):
+        bad = {"points": [{"workload": "quake-9999", "design": "S_TFIM"}]}
+        status, payload, _headers = _request(server, "POST", "/jobs", bad)
+        assert status == 400
+        assert "unknown workload" in payload["error"]
+
+    def test_oversized_body_is_413_before_read(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=60
+        ) as sock:
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\n"
+                b"Content-Length: 2097152\r\n\r\n"
+            )
+            head = sock.recv(65536)
+        assert head.split(b"\r\n", 1)[0] == b"HTTP/1.1 413 Payload Too Large"
+
+
+class TestBackpressure:
+    """``start_worker=False``: nothing drains the queue, so admission
+    decisions are a pure function of what the test submitted.
+    """
+
+    def test_depth_bound_maps_to_429(self, tmp_path):
+        config = ServeConfig(
+            port=0, workloads=[WORKLOAD], backend="serial",
+            max_queue_depth=1,
+        )
+        with BackgroundServer(config, start_worker=False) as handle:
+            status, first, _headers = _request(
+                handle, "POST", "/jobs", JOB_PAYLOAD
+            )
+            assert status == 202
+            assert first["position"] == 1
+            status, rejected, headers = _request(
+                handle, "POST", "/jobs", JOB_PAYLOAD
+            )
+            assert status == 429
+            assert rejected["reason"] == "queue-full"
+            assert headers.get("Retry-After") == "1"
+            # The rejected submission allocated no job id.
+            _status, listing, _headers = _request(handle, "GET", "/jobs")
+            assert len(listing["jobs"]) == 1
+
+    def test_tenant_quota_maps_to_429(self, tmp_path):
+        config = ServeConfig(
+            port=0, workloads=[WORKLOAD], backend="serial",
+            max_queue_depth=8, tenant_quota=1,
+        )
+        with BackgroundServer(config, start_worker=False) as handle:
+            greedy = dict(JOB_PAYLOAD, tenant="team-a")
+            status, _payload, _headers = _request(
+                handle, "POST", "/jobs", greedy
+            )
+            assert status == 202
+            status, rejected, _headers = _request(
+                handle, "POST", "/jobs", greedy
+            )
+            assert status == 429
+            assert rejected["reason"] == "tenant-quota"
+            # Another tenant is still admitted.
+            other = dict(JOB_PAYLOAD, tenant="team-b")
+            status, admitted, _headers = _request(
+                handle, "POST", "/jobs", other
+            )
+            assert status == 202
+            assert admitted["position"] == 2
